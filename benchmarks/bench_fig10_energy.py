@@ -1,0 +1,37 @@
+"""Figure 10: system energy breakdown, normalized to baseline total.
+
+Paper shape: AVR reduces energy 10-20% on heat/lattice/lbm (mostly via
+shorter execution and less DRAM traffic); the compressor itself is a
+negligible slice; bscholes/wrf see little change.
+"""
+
+from repro.energy import COMPONENTS
+from repro.harness import fig10_energy, format_stacked
+
+
+def test_fig10(evaluations, benchmark):
+    data = benchmark(fig10_energy, evaluations)
+    print()
+    print(format_stacked("Figure 10: energy (norm. to baseline total)", data))
+
+    for name, per_design in data.items():
+        base_total = sum(per_design["baseline"].values())
+        assert abs(base_total - 1.0) < 1e-6
+        for design, parts in per_design.items():
+            assert set(parts) == set(COMPONENTS)
+            assert all(v >= 0 for v in parts.values())
+
+    # AVR saves energy on the compressible memory-bound workloads
+    for name in ("heat", "lattice", "lbm"):
+        avr_total = sum(data[name]["AVR"].values())
+        assert avr_total < 0.95, name
+
+    # the compressor/decompressor is a small slice of AVR's energy
+    for name in data:
+        parts = data[name]["AVR"]
+        assert parts["Compressor/Decompressor"] < 0.1 * sum(parts.values()), name
+
+    # ZeroAVR's energy tracks the baseline closely
+    for name in data:
+        zero_total = sum(data[name]["ZeroAVR"].values())
+        assert abs(zero_total - 1.0) < 0.07, name

@@ -1,0 +1,27 @@
+"""Figure 14: breakdown of AVR LLC requests on approximate cachelines.
+
+Paper shape: "about 40-80% of the LLC requests hit on the DBUF or on
+compressed blocks" (§4.3); misses are the minority for the streaming
+benchmarks.
+"""
+
+from repro.harness import REQUEST_CATEGORIES, fig14_llc_requests, format_table
+
+
+def test_fig14(evaluations, benchmark):
+    series = benchmark(fig14_llc_requests, evaluations)
+    print()
+    print(format_table("Figure 14: AVR LLC requests (%)", series, "{:.1f}"))
+
+    labels = list(REQUEST_CATEGORIES.values())
+    for name, row in series.items():
+        assert set(row) == set(labels)
+        assert abs(sum(row.values()) - 100.0) < 0.5, name
+
+    # On-chip hits (DBUF + compressed + uncompressed) dominate for the
+    # streaming workloads, as in the paper.
+    for name in ("heat", "lattice", "lbm", "kmeans"):
+        row = series[name]
+        on_chip = row["DBUF Hit"] + row["Compressed Hit"] + row["Uncompressed Hit"]
+        assert on_chip > 40.0, name
+        assert row["Miss"] < 60.0, name

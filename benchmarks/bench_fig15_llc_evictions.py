@@ -1,0 +1,31 @@
+"""Figure 15: breakdown of AVR LLC evictions of approximate cachelines.
+
+Paper shape: the streaming benchmarks resolve 45-80% of their dirty
+evictions without fetching the block from memory (Recompress when the
+compressed copy is LLC-resident, else Lazy Writeback); kmeans/bscholes
+show sizable Fetch+Recompress / Uncompressed-Writeback fractions.
+"""
+
+from repro.harness import EVICTION_CATEGORIES, fig15_llc_evictions, format_table
+
+
+def test_fig15(evaluations, benchmark):
+    series = benchmark(fig15_llc_evictions, evaluations)
+    print()
+    print(format_table("Figure 15: AVR LLC evictions (%)", series, "{:.1f}"))
+
+    labels = list(EVICTION_CATEGORIES.values())
+    for name, row in series.items():
+        assert set(row) == set(labels)
+        total = sum(row.values())
+        assert total == 0.0 or abs(total - 100.0) < 0.5, name
+
+    # Cheap evictions (no block fetch) dominate for streaming workloads
+    for name in ("heat", "lattice", "lbm", "orbit"):
+        row = series[name]
+        cheap = row["Recompress"] + row["Lazy Writeback"]
+        assert cheap > 45.0, name
+
+    # kmeans' rugged blocks fail compression: plain writebacks appear
+    km = series["kmeans"]
+    assert km["Uncompressed Writeback"] + km["Fetch+Recompress"] > 10.0

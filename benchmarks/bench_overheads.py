@@ -1,0 +1,22 @@
+"""§4.2 hardware overheads: CMT/TLB bits and AVR LLC tag/BPA storage.
+
+Paper figures: 93 bits per page (~2x a TLB entry), 18 extra bits per
+LLC entry, ~3% LLC overhead, compressor ~200k cells (not modelled).
+"""
+
+from repro.common.config import SystemConfig
+from repro.harness import hardware_overheads
+
+
+def test_overheads(benchmark):
+    o = benchmark(hardware_overheads, SystemConfig.paper())
+    print()
+    print("Hardware overheads (paper §4.2):")
+    for key, value in o.items():
+        print(f"  {key:28s} {value:10.3f}")
+
+    assert o["cmt_bits_per_page"] == 93
+    assert 1.0 < o["tlb_overhead_factor"] < 1.2
+    assert o["llc_extra_bits_per_entry"] == 18
+    # 18 bits per 64 B entry = 3.5% of the data array
+    assert 0.02 < o["llc_overhead_fraction"] < 0.05

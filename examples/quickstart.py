@@ -1,0 +1,54 @@
+"""Quickstart: compress data with AVR and inspect the quality knob.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AVRCompressor, ErrorThresholds
+from repro.common.constants import VALUES_PER_BLOCK
+from repro.compression import CompressedBlock
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # --- some approximable data: a smooth field + mild sensor noise -----
+    x = np.linspace(0.0, 6.0, 64 * VALUES_PER_BLOCK)
+    data = (np.sin(x) * 40.0 + 100.0).astype(np.float32)
+    data += rng.normal(0.0, 0.05, data.size).astype(np.float32)
+    blocks = data.reshape(-1, VALUES_PER_BLOCK)
+
+    print("AVR quickstart: 64 KB of smooth sensor data")
+    print(f"  blocks: {blocks.shape[0]} x 1 KB\n")
+
+    # --- the tunable error knob (paper: T1 = 2 * T2) ---------------------
+    print(f"  {'T2 knob':>8}  {'ratio':>7}  {'mean err':>9}  {'outliers/blk':>12}")
+    for t2 in (0.04, 0.01, 0.0025, 0.001):
+        comp = AVRCompressor(ErrorThresholds.from_t2(t2))
+        result = comp.compress_blocks(blocks)
+        err = np.abs(result.reconstructed - blocks) / np.abs(blocks)
+        print(
+            f"  {t2:8.4f}  {result.compression_ratio:6.1f}x"
+            f"  {err.mean() * 100:8.3f}%  {result.outlier_count.mean():12.1f}"
+        )
+
+    # --- single-block API: byte-accurate memory image --------------------
+    comp = AVRCompressor(ErrorThresholds.from_t2(0.01))
+    block, recon = comp.compress_block(blocks[0])
+    assert block is not None
+    image = block.pack()
+    print(f"\n  one 1024 B block -> {len(image)} B image "
+          f"({block.size_cachelines} cachelines, {block.outlier_count} outliers,"
+          f" method={block.method.name}, bias={block.bias})")
+
+    rebuilt = CompressedBlock.unpack(
+        image, block.method, block.bias, block.size_cachelines
+    )
+    out = comp.decompress_block(rebuilt)
+    assert np.array_equal(out, recon)
+    print("  pack -> unpack -> decompress reproduces the approximation exactly")
+
+
+if __name__ == "__main__":
+    main()

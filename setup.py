@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package that setuptools'
+PEP 660 editable backend requires, so ``pip install -e .`` falls back
+to this shim via ``--no-use-pep517``.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — reproduction of AVR: Approximate Value Reconstruction (ICPP 2019).
+
+Public API highlights:
+
+* :class:`repro.compression.AVRCompressor` — the downsampling
+  compressor/decompressor pipeline.
+* :class:`repro.approx.ApproxMemory` — approximable-region registry that
+  applies functional round-trips to workload data.
+* :mod:`repro.workloads` — the seven evaluation applications.
+* :func:`repro.system.build_system` — full timing-simulator instances
+  for baseline / AVR / ZeroAVR / Truncate / Doppelgänger.
+* :mod:`repro.harness` — regenerates every table and figure of the
+  paper's evaluation.
+"""
+
+from .common import Design, ErrorThresholds, SystemConfig
+from .compression import AVRCompressor
+
+__version__ = "1.0.0"
+
+__all__ = ["AVRCompressor", "Design", "ErrorThresholds", "SystemConfig", "__version__"]

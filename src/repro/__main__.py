@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``evaluate``  — regenerate the paper's tables and figures
+* ``workload``  — run one workload under one design and report
+* ``ablate``    — run the LLC / compressor ablation studies
+* ``overheads`` — print the §4.2 hardware-overhead accounting
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .common.config import SystemConfig
+from .common.types import COMPARED_DESIGNS, Design
+from .harness import (
+    evaluate_all,
+    evaluate_workload,
+    fig09_execution_time,
+    fig11_memory_traffic,
+    fig12_amat,
+    fig13_mpki,
+    format_stacked,
+    format_table,
+    hardware_overheads,
+    run_compressor_ablations,
+    run_llc_ablations,
+    table3_output_error,
+    table4_compression,
+)
+from .workloads import WORKLOADS
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (default 1.0)")
+    parser.add_argument("--cores", type=int, default=8,
+                        help="simulated cores (default 8)")
+    parser.add_argument("--accesses", type=int, default=50_000,
+                        help="trace accesses per core (default 50000)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    config = SystemConfig.scaled(num_cores=args.cores)
+    names = tuple(args.workloads) if args.workloads else None
+    evals = evaluate_all(
+        names=names, config=config, scale=args.scale, seed=args.seed,
+        max_accesses_per_core=args.accesses,
+    )
+    order = list(evals)
+    designs = [d.value for d in COMPARED_DESIGNS]
+    print(format_table("Table 3: output error (%)",
+                       table3_output_error(evals), "{:.2f}", col_order=order))
+    print()
+    print(format_table("Table 4: AVR compression",
+                       table4_compression(evals), "{:.1f}", col_order=order))
+    print()
+    print(format_table("Figure 9: execution time (norm.)",
+                       fig09_execution_time(evals), "{:.2f}", col_order=designs))
+    print()
+    print(format_stacked("Figure 11: memory traffic (norm.)",
+                         fig11_memory_traffic(evals)))
+    print()
+    print(format_table("Figure 12: AMAT (norm.)",
+                       fig12_amat(evals), "{:.2f}", col_order=designs))
+    print()
+    print(format_table("Figure 13: LLC MPKI (norm.)",
+                       fig13_mpki(evals), "{:.2f}", col_order=designs))
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    config = SystemConfig.scaled(num_cores=args.cores)
+    ev = evaluate_workload(
+        args.name, config=config, scale=args.scale, seed=args.seed,
+        max_accesses_per_core=args.accesses,
+    )
+    print(f"{args.name}: footprint {ev.footprint_bytes / 1e6:.1f} MB, "
+          f"AVR ratio {ev.avr_compression_ratio:.1f}:1, "
+          f"footprint vs baseline {ev.footprint_vs_baseline * 100:.0f}%")
+    header = f"{'design':>9} {'error %':>8} {'time':>6} {'traffic':>8} {'AMAT':>6} {'MPKI':>6}"
+    print(header)
+    for design in COMPARED_DESIGNS:
+        run = ev.runs[design]
+        print(f"{design.value:>9} {run.output_error * 100:8.3f}"
+              f" {ev.normalized(design, 'time'):6.2f}"
+              f" {ev.normalized(design, 'traffic'):8.2f}"
+              f" {ev.normalized(design, 'amat'):6.2f}"
+              f" {ev.normalized(design, 'mpki'):6.2f}")
+    return 0
+
+
+def cmd_ablate(args: argparse.Namespace) -> int:
+    config = SystemConfig.scaled(num_cores=args.cores)
+    llc = run_llc_ablations(
+        args.name, config=config, scale=args.scale,
+        max_accesses_per_core=args.accesses,
+    )
+    full = llc["full AVR"]
+    rows = {
+        label: {
+            "time": p.cycles / full.cycles,
+            "traffic": p.total_bytes / full.total_bytes,
+            "AMAT": p.amat_cycles / full.amat_cycles,
+        }
+        for label, p in llc.items()
+    }
+    print(format_table(f"LLC ablations on {args.name} (norm. to full AVR)",
+                       rows, "{:.2f}", col_order=["time", "traffic", "AMAT"]))
+    print()
+    comp = run_compressor_ablations(args.name, scale=min(args.scale, 0.5))
+    print(format_table(f"Compressor ablations on {args.name} data", comp,
+                       "{:.2f}", col_order=["ratio", "mean_error_pct", "success_pct"]))
+    return 0
+
+
+def cmd_overheads(_args: argparse.Namespace) -> int:
+    o = hardware_overheads()
+    print("AVR hardware overheads (paper §4.2):")
+    print(f"  CMT + TLB bits per page:    {o['cmt_bits_per_page']:.0f}")
+    print(f"  vs an 88-bit TLB entry:     {o['tlb_overhead_factor']:.2f}x")
+    print(f"  extra LLC bits per entry:   {o['llc_extra_bits_per_entry']:.0f}")
+    print(f"  LLC storage overhead:       {o['llc_extra_kbytes']:.0f} kB "
+          f"({o['llc_overhead_fraction'] * 100:.1f}%)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="AVR (ICPP 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_eval = sub.add_parser("evaluate", help="regenerate the paper's evaluation")
+    p_eval.add_argument("--workloads", nargs="*", choices=sorted(WORKLOADS),
+                        help="subset of workloads (default: all)")
+    _add_common(p_eval)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_wl = sub.add_parser("workload", help="evaluate one workload")
+    p_wl.add_argument("name", choices=sorted(WORKLOADS))
+    _add_common(p_wl)
+    p_wl.set_defaults(func=cmd_workload)
+
+    p_ab = sub.add_parser("ablate", help="run the ablation studies")
+    p_ab.add_argument("name", nargs="?", default="heat", choices=sorted(WORKLOADS))
+    _add_common(p_ab)
+    p_ab.set_defaults(func=cmd_ablate)
+
+    p_ov = sub.add_parser("overheads", help="print §4.2 hardware overheads")
+    p_ov.set_defaults(func=cmd_overheads)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

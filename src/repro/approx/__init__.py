@@ -1,0 +1,27 @@
+"""Approximable memory regions and per-design approximation strategies."""
+
+from .approximators import (
+    Approximator,
+    AVRApproximator,
+    DoppelgangerApproximator,
+    ExactApproximator,
+    SyncStats,
+    TruncateApproximator,
+)
+from .memory import ApproxMemory, RegionReport, approximator_for
+from .region import Region, padded_bytes, padded_pages
+
+__all__ = [
+    "AVRApproximator",
+    "ApproxMemory",
+    "Approximator",
+    "DoppelgangerApproximator",
+    "ExactApproximator",
+    "Region",
+    "RegionReport",
+    "SyncStats",
+    "TruncateApproximator",
+    "approximator_for",
+    "padded_bytes",
+    "padded_pages",
+]

@@ -1,0 +1,19 @@
+"""Cache hierarchy: private stacks, baseline LLC, AVR decoupled LLC."""
+
+from .base import SetAssocCache
+from .cmt import CMT, CMTEntry
+from .dbuf import DBUF, PFE_THRESHOLD
+from .hierarchy import PrivateCaches
+from .llc_avr import AVRLLC
+from .llc_baseline import BaselineLLC
+
+__all__ = [
+    "AVRLLC",
+    "BaselineLLC",
+    "CMT",
+    "CMTEntry",
+    "DBUF",
+    "PFE_THRESHOLD",
+    "PrivateCaches",
+    "SetAssocCache",
+]

@@ -1,0 +1,97 @@
+"""Generic set-associative cache with true-LRU replacement.
+
+Used for the private L1/L2 levels, the baseline LLC, and (with a
+capacity multiplier) the Truncate and Doppelgänger LLC models.  Sets
+are Python dicts whose insertion order encodes recency — touching a
+line pops and reinserts it, evicting takes the first key — giving O(1)
+operations without per-line timestamp bookkeeping.
+"""
+
+from __future__ import annotations
+
+from ..common.config import CacheConfig
+
+
+class SetAssocCache:
+    """One cache level at cacheline granularity."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        capacity_multiplier: float = 1.0,
+    ) -> None:
+        self.line_bytes = config.line_bytes
+        self.line_shift = config.line_bytes.bit_length() - 1
+        self.num_sets = config.num_sets
+        self.ways = max(1, round(config.ways * capacity_multiplier))
+        self.latency = config.latency_cycles
+        # tag -> dirty flag; dict order is LRU order (front = oldest)
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, addr: int) -> tuple[int, int]:
+        line = addr >> self.line_shift
+        return line % self.num_sets, line
+
+    def access(
+        self, addr: int, write: bool
+    ) -> tuple[bool, tuple[int, bool] | None]:
+        """Look up (and on miss, allocate) the line holding ``addr``.
+
+        Returns ``(hit, victim)`` where ``victim`` is
+        ``(victim_addr, victim_dirty)`` if a line was evicted to make
+        room, else None.
+        """
+        index, line = self._index(addr)
+        cset = self._sets[index]
+        if line in cset:
+            dirty = cset.pop(line)
+            cset[line] = dirty or write
+            self.hits += 1
+            return True, None
+        self.misses += 1
+        victim = None
+        if len(cset) >= self.ways:
+            vline = next(iter(cset))
+            vdirty = cset.pop(vline)
+            victim = (vline << self.line_shift, vdirty)
+        cset[line] = write
+        return False, victim
+
+    def probe(self, addr: int) -> bool:
+        """Check presence without changing state."""
+        index, line = self._index(addr)
+        return line in self._sets[index]
+
+    def invalidate(self, addr: int) -> bool | None:
+        """Drop the line if present; returns its dirty flag (None if absent)."""
+        index, line = self._index(addr)
+        return self._sets[index].pop(line, None)
+
+    def insert(self, addr: int, dirty: bool) -> tuple[int, bool] | None:
+        """Insert a line (e.g. a writeback from an inner level).
+
+        Returns the victim ``(addr, dirty)`` if one was evicted.
+        """
+        index, line = self._index(addr)
+        cset = self._sets[index]
+        if line in cset:
+            prev = cset.pop(line)
+            cset[line] = prev or dirty
+            return None
+        victim = None
+        if len(cset) >= self.ways:
+            vline = next(iter(cset))
+            vdirty = cset.pop(vline)
+            victim = (vline << self.line_shift, vdirty)
+        cset[line] = dirty
+        return victim
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,84 @@
+"""Decompressed block buffer (DBUF) and prefetch engine (PFE).
+
+After decompressing a block, only the requested cacheline goes to the
+LLC; the rest stay in the DBUF so follow-up requests to the same block
+are served on chip without polluting the LLC.  When a new block
+arrives, the PFE decides whether the outgoing block's remaining lines
+deserve LLC insertion: the paper's threshold strategy prefetches all
+lines of a block where at least half were explicitly requested.
+"""
+
+from __future__ import annotations
+
+from ..common.constants import BLOCK_BYTES, BLOCK_CACHELINES, CACHELINE_BYTES
+
+#: PFE threshold: prefetch when at least this many lines were requested.
+PFE_THRESHOLD = BLOCK_CACHELINES // 2
+
+
+class DBUF:
+    """Holds the most recently decompressed memory block.
+
+    ``pfe_threshold`` tunes the prefetch engine's requested-lines
+    threshold (ablation); ``None`` disables PFE prefetching entirely.
+    """
+
+    def __init__(self, pfe_threshold: int | None = PFE_THRESHOLD) -> None:
+        self.pfe_threshold = pfe_threshold
+        self.block_addr: int | None = None
+        self.requested: set[int] = set()
+        self.in_llc: set[int] = set()
+        self.hits = 0
+        self.loads = 0
+
+    @staticmethod
+    def _split(addr: int) -> tuple[int, int]:
+        return addr & ~(BLOCK_BYTES - 1), (addr % BLOCK_BYTES) // CACHELINE_BYTES
+
+    def holds(self, addr: int) -> bool:
+        block, _ = self._split(addr)
+        return self.block_addr == block
+
+    def serve(self, addr: int) -> bool:
+        """Serve a request from the buffer if possible."""
+        block, line = self._split(addr)
+        if self.block_addr != block:
+            return False
+        self.hits += 1
+        self.requested.add(line)
+        self.in_llc.add(line)  # the served UCL is also written to the LLC
+        return True
+
+    def note_requested(self, addr: int) -> None:
+        """Record that a line of the buffered block went to the LLC."""
+        block, line = self._split(addr)
+        if self.block_addr == block:
+            self.requested.add(line)
+            self.in_llc.add(line)
+
+    def load(self, block_addr: int, requested_line: int) -> list[int]:
+        """Replace the buffered block; returns lines the PFE prefetches.
+
+        The returned line offsets belong to the *outgoing* block and
+        should be inserted into the LLC by the caller (they are the
+        not-yet-inserted lines of a block that proved useful).
+        """
+        prefetch: list[int] = []
+        if (
+            self.pfe_threshold is not None
+            and self.block_addr is not None
+            and len(self.requested) >= self.pfe_threshold
+        ):
+            prefetch = [
+                i for i in range(BLOCK_CACHELINES) if i not in self.in_llc
+            ]
+        self.block_addr = block_addr
+        self.requested = {requested_line}
+        self.in_llc = {requested_line}
+        self.loads += 1
+        return prefetch
+
+    def invalidate(self) -> None:
+        self.block_addr = None
+        self.requested.clear()
+        self.in_llc.clear()

@@ -1,0 +1,43 @@
+"""Private per-core cache stack (L1 + L2).
+
+Filters the core's access stream before it reaches the shared LLC.
+Dirty victims cascade outward: an L1 victim is installed in L2, and a
+dirty L2 victim is handed to the LLC layer by the caller.
+"""
+
+from __future__ import annotations
+
+from ..common.config import SystemConfig
+from .base import SetAssocCache
+
+
+class PrivateCaches:
+    """L1 + L2 for one core."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.l1 = SetAssocCache(config.l1)
+        self.l2 = SetAssocCache(config.l2)
+
+    def access(self, addr: int, write: bool) -> tuple[int, bool, list[tuple[int, bool]]]:
+        """Run one access through L1 and L2.
+
+        Returns ``(latency_cycles, needs_llc, l2_writebacks)`` where
+        ``l2_writebacks`` lists dirty lines evicted from L2 that must
+        be handled by the LLC level.
+        """
+        writebacks: list[tuple[int, bool]] = []
+        hit, victim = self.l1.access(addr, write)
+        latency = self.l1.latency
+        if hit:
+            return latency, False, writebacks
+        if victim is not None and victim[1]:
+            # Dirty L1 victim falls into L2.
+            l2_victim = self.l2.insert(victim[0], dirty=True)
+            if l2_victim is not None and l2_victim[1]:
+                writebacks.append(l2_victim)
+
+        hit2, victim2 = self.l2.access(addr, False)
+        latency += self.l2.latency
+        if victim2 is not None and victim2[1]:
+            writebacks.append(victim2)
+        return latency, not hit2, writebacks

@@ -1,0 +1,351 @@
+"""The AVR Last Level Cache (paper §3.4, §3.5, Figures 6-8).
+
+A decoupled sectored cache that co-locates uncompressed cachelines
+(UCLs) and compressed memory sub-blocks (CMSs).  The model keeps the
+paper's placement rules — UCLs index like a conventional cache, the
+CMSs of a block occupy consecutive sets starting at the block's tag
+index, and UCLs/CMSs compete equally for data-array entries under LRU —
+and implements the full request (Fig. 7) and eviction (Fig. 8) flows:
+DBUF hits, compressed hits, lazy writebacks, fetch+recompress, the
+badly-compressed-block skip counters, and PFE-guided prefetch of
+decompressed lines.
+
+Compressed block sizes come from a static per-block size map measured
+by the functional layer, so the timing simulation reflects the real
+data's compressibility without re-running the compressor per event.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..common.config import CacheConfig
+from ..common.constants import (
+    BLOCK_BYTES,
+    BLOCK_CACHELINES,
+    CACHELINE_BYTES,
+    COMPRESS_LATENCY_CYCLES,
+    DECOMPRESS_LATENCY_CYCLES,
+)
+from ..common.stats import StatCounter
+from ..memory.dram import DRAM
+from .cmt import CMT
+from .dbuf import DBUF
+
+#: data-array entry keys: UCLs are plain line numbers (int); CMSs are
+#: ("C", block_number, subblock_offset) tuples.
+CMSKey = tuple[str, int, int]
+
+
+class AVRLLC:
+    """Shared AVR LLC + DBUF + CMT + compressor latency accounting."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        dram: DRAM,
+        block_size_of: Callable[[int], int],
+        is_approx: Callable[[int], bool],
+        enable_dbuf: bool = True,
+        enable_lazy_eviction: bool = True,
+        enable_skip_counters: bool = True,
+        enable_cms_lru_refresh: bool = True,
+        pfe_threshold: int | None = None,
+    ) -> None:
+        """The four ``enable_*`` flags ablate the paper's §3
+        optimizations one by one; ``pfe_threshold`` overrides the PFE
+        policy (None keeps the paper's half-block threshold)."""
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        self.latency = config.latency_cycles
+        self.dram = dram
+        self.block_size_of = block_size_of
+        self.is_approx = is_approx
+        self.enable_dbuf = enable_dbuf
+        self.enable_lazy_eviction = enable_lazy_eviction
+        self.enable_skip_counters = enable_skip_counters
+        self.enable_cms_lru_refresh = enable_cms_lru_refresh
+        self._sets: list[dict] = [dict() for _ in range(self.num_sets)]
+        from .dbuf import PFE_THRESHOLD
+
+        self.dbuf = DBUF(PFE_THRESHOLD if pfe_threshold is None else pfe_threshold)
+        self.cmt = CMT()
+        self.stats = StatCounter()
+
+    # ------------------------------------------------------------------
+    # address helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _line_no(addr: int) -> int:
+        return addr // CACHELINE_BYTES
+
+    @staticmethod
+    def _block_no(addr: int) -> int:
+        return addr // BLOCK_BYTES
+
+    def _ucl_set(self, line_no: int) -> int:
+        return line_no % self.num_sets
+
+    def _cms_set(self, block_no: int, off: int) -> int:
+        return (block_no + off) % self.num_sets
+
+    # ------------------------------------------------------------------
+    # data-array plumbing
+    # ------------------------------------------------------------------
+    def _touch(self, set_idx: int, key, dirty: bool = False) -> bool:
+        """Refresh LRU of an existing entry; returns True if present."""
+        cset = self._sets[set_idx]
+        if key not in cset:
+            return False
+        prev = cset.pop(key)
+        cset[key] = prev or dirty
+        return True
+
+    def _insert(self, set_idx: int, key, dirty: bool) -> None:
+        """Insert an entry, running the eviction flow on the victim."""
+        cset = self._sets[set_idx]
+        if key in cset:
+            prev = cset.pop(key)
+            cset[key] = prev or dirty
+            return
+        while len(cset) >= self.ways:
+            victim_key = next(iter(cset))
+            victim_dirty = cset.pop(victim_key)
+            self._handle_victim(victim_key, victim_dirty)
+        cset[key] = dirty
+
+    def _cms_keys(self, block_no: int, size: int) -> list[tuple[int, CMSKey]]:
+        return [
+            (self._cms_set(block_no, i), ("C", block_no, i)) for i in range(size)
+        ]
+
+    def _block_cms_present(self, block_no: int) -> int:
+        """Number of CMS entries of this block present (0 if none).
+
+        CMS0 presence implies the block's compressed image is resident
+        (the paper allocates/evicts a block's CMSs as a unit).
+        """
+        key = ("C", block_no, 0)
+        if key in self._sets[self._cms_set(block_no, 0)]:
+            size, _ = self._block_static_size(block_no)
+            return size
+        return 0
+
+    def _block_static_size(self, block_no: int) -> tuple[int, int]:
+        block_addr = block_no * BLOCK_BYTES
+        size = self.block_size_of(block_addr)
+        return size, block_addr
+
+    def _touch_block_cms(self, block_no: int) -> None:
+        """Refresh the block's CMS recency when one of its UCLs is
+        accessed (paper §3.4: "the CMS LRU bits are updated when any
+        UCL of the block is accessed")."""
+        if not self.enable_cms_lru_refresh:
+            return
+        if ("C", block_no, 0) not in self._sets[self._cms_set(block_no, 0)]:
+            return
+        size, _ = self._block_static_size(block_no)
+        for set_idx, key in self._cms_keys(block_no, size):
+            self._touch(set_idx, key)
+
+    def _dram(self, addr: int, lines: int, write: bool, approx: bool) -> int:
+        """DRAM access tagged with the approx/exact traffic split."""
+        self.stats.add("bytes_approx" if approx else "bytes_exact", lines * 64)
+        return self.dram.access(addr, lines, write=write)
+
+    # ------------------------------------------------------------------
+    # victim (eviction) flows — paper Figure 8
+    # ------------------------------------------------------------------
+    def _handle_victim(self, key, dirty: bool) -> None:
+        if isinstance(key, tuple):  # CMS victim: evict the whole block
+            _, block_no, _ = key
+            self._evict_compressed_block(block_no, dirty)
+            return
+        if not dirty:
+            return
+        addr = key * CACHELINE_BYTES
+        if not self.is_approx(addr):
+            self._dram(addr, 1, write=True, approx=False)
+            self.stats.add("exact_writebacks")
+            return
+        self._evict_dirty_approx_ucl(addr)
+
+    def _evict_compressed_block(self, block_no: int, first_dirty: bool) -> None:
+        """Evicting any CMS evicts all CMSs of the block (paper §3.4)."""
+        size, block_addr = self._block_static_size(block_no)
+        dirty = first_dirty
+        for off in range(BLOCK_CACHELINES):  # defensive: sweep all offsets
+            key = ("C", block_no, off)
+            state = self._sets[self._cms_set(block_no, off)].pop(key, None)
+            if state:
+                dirty = True
+        if dirty:
+            # Decompress, overlay dirty UCLs, recompress, write to memory.
+            self.stats.add("decompressions")
+            self.stats.add("compressions")
+            self._dram(block_addr, size, write=True, approx=True)
+            entry, cached = self.cmt.lookup(block_addr, size)
+            if not cached:
+                self.dram.transfer_partial(self.cmt.miss_traffic_bytes(), write=False)
+            entry.record_success(size)
+            entry.lazy_count = 0
+        self.stats.add("cms_block_evictions")
+
+    def _evict_dirty_approx_ucl(self, addr: int) -> None:
+        block_no = self._block_no(addr)
+        size, block_addr = self._block_static_size(block_no)
+
+        if self._block_cms_present(block_no):
+            # Recompress in place: block read from LLC, updated, stored back.
+            self.stats.add("evict_recompress")
+            self.stats.add("decompressions")
+            self.stats.add("compressions")
+            for set_idx, key in self._cms_keys(block_no, self._block_cms_present(block_no)):
+                self._touch(set_idx, key, dirty=True)
+            return
+
+        entry, cached = self.cmt.lookup(addr, size)
+        if not cached:
+            self.dram.transfer_partial(self.cmt.miss_traffic_bytes(), write=False)
+
+        if entry.compressed:
+            if self.enable_lazy_eviction and entry.lazy_possible():
+                self.stats.add("evict_lazy_writeback")
+                entry.lazy_count += 1
+                self._dram(addr, 1, write=True, approx=True)
+                return
+            # Space exhausted: fetch block + lazy lines, merge, recompress.
+            self.stats.add("evict_fetch_recompress")
+            self.stats.add("decompressions")
+            self.stats.add("compressions")
+            self._dram(block_addr, entry.size_cachelines + entry.lazy_count, False, True)
+            self._dram(block_addr, size, write=True, approx=True)
+            entry.record_success(size)
+            entry.lazy_count = 0
+            return
+
+        # Block is uncompressed in memory: consult the skip counters.
+        skip = self.enable_skip_counters and entry.should_skip_recompression()
+        if size < BLOCK_CACHELINES and not skip:
+            # Attempt compression (succeeds: the data is compressible).
+            self.stats.add("evict_fetch_recompress")
+            self.stats.add("compressions")
+            self._dram(block_addr, BLOCK_CACHELINES, False, True)
+            self._dram(block_addr, size, write=True, approx=True)
+            entry.record_success(size)
+            return
+        # Attempt fails or is skipped: plain uncompressed writeback.
+        self.stats.add("evict_uncompressed_writeback")
+        if size >= BLOCK_CACHELINES:
+            if skip:
+                entry.record_skip()
+            else:
+                self.stats.add("compressions")  # the failed attempt
+                entry.record_failure()
+        self._dram(addr, 1, write=True, approx=True)
+
+    # ------------------------------------------------------------------
+    # request flow — paper Figure 7
+    # ------------------------------------------------------------------
+    def read(self, addr: int, count_breakdown: bool = True) -> int:
+        """Handle an LLC read request; returns its latency in cycles."""
+        approx = self.is_approx(addr)
+        line_no = self._line_no(addr)
+
+        if approx and self.enable_dbuf and self.dbuf.serve(addr):
+            if count_breakdown:
+                self.stats.add("req_hit_dbuf")
+            self.stats.add("llc_hits")
+            # A block access: refresh the block's CMS recency too.
+            self._touch_block_cms(self._block_no(addr))
+            # The served line is also written into the LLC.
+            self._insert(self._ucl_set(line_no), line_no, dirty=False)
+            return self.latency
+
+        if self._touch(self._ucl_set(line_no), line_no):
+            if approx:
+                if count_breakdown:
+                    self.stats.add("req_hit_uncompressed")
+                self._touch_block_cms(self._block_no(addr))
+            self.stats.add("llc_hits")
+            return self.latency
+
+        if approx:
+            block_no = self._block_no(addr)
+            cms_size = self._block_cms_present(block_no)
+            if cms_size:
+                # Compressed hit: read the CMSs, decompress, fill DBUF.
+                if count_breakdown:
+                    self.stats.add("req_hit_compressed")
+                self.stats.add("llc_hits")
+                self.stats.add("decompressions")
+                for set_idx, key in self._cms_keys(block_no, cms_size):
+                    self._touch(set_idx, key)
+                self._load_dbuf(block_no, addr)
+                self._insert(self._ucl_set(line_no), line_no, dirty=False)
+                return self.latency + cms_size + DECOMPRESS_LATENCY_CYCLES
+
+            # Full miss on approximate data.
+            if count_breakdown:
+                self.stats.add("req_miss")
+            self.stats.add("llc_misses")
+            return self._miss_approx(addr, block_no, line_no)
+
+        # Exact data miss: conventional line fetch.
+        self.stats.add("llc_misses")
+        latency = self._dram(addr, 1, write=False, approx=False)
+        self._insert(self._ucl_set(line_no), line_no, dirty=False)
+        return self.latency + latency
+
+    def _miss_approx(self, addr: int, block_no: int, line_no: int) -> int:
+        size, block_addr = self._block_static_size(block_no)
+        entry, cached = self.cmt.lookup(addr, size)
+        if not cached:
+            self.dram.transfer_partial(self.cmt.miss_traffic_bytes(), write=False)
+
+        if not entry.compressed:
+            # Uncompressed block: fetch just the requested line.
+            latency = self._dram(addr, 1, write=False, approx=True)
+            self._insert(self._ucl_set(line_no), line_no, dirty=False)
+            return self.latency + latency
+
+        # Fetch compressed block (+ any lazily evicted lines) from memory.
+        lines = entry.size_cachelines + entry.lazy_count
+        latency = self._dram(block_addr, lines, write=False, approx=True)
+        self.stats.add("decompressions")
+        dirty = False
+        if entry.lazy_count:
+            # Merged lazy lines: block recompressed on chip, marked dirty.
+            self.stats.add("compressions")
+            entry.lazy_count = 0
+            entry.record_success(size)
+            dirty = True
+        for set_idx, key in self._cms_keys(block_no, entry.size_cachelines):
+            self._insert(set_idx, key, dirty)
+        self._load_dbuf(block_no, addr)
+        self._insert(self._ucl_set(line_no), line_no, dirty=False)
+        return self.latency + latency + DECOMPRESS_LATENCY_CYCLES
+
+    def _load_dbuf(self, block_no: int, addr: int) -> None:
+        line_off = (addr % BLOCK_BYTES) // CACHELINE_BYTES
+        old_block = self.dbuf.block_addr
+        prefetch = self.dbuf.load(block_no * BLOCK_BYTES, line_off)
+        if prefetch and old_block is not None:
+            self.stats.add("pfe_prefetches", len(prefetch))
+            for off in prefetch:
+                line = self._line_no(old_block + off * CACHELINE_BYTES)
+                self._insert(self._ucl_set(line), line, dirty=False)
+
+    def writeback(self, addr: int) -> int:
+        """Accept a dirty line falling out of a core's L2."""
+        line_no = self._line_no(addr)
+        self.dbuf.note_requested(addr)
+        if self.is_approx(addr):
+            self._touch_block_cms(self._block_no(addr))
+        self._insert(self._ucl_set(line_no), line_no, dirty=True)
+        return self.latency
+
+    # ------------------------------------------------------------------
+    @property
+    def mpki_misses(self) -> int:
+        return int(self.stats["llc_misses"])

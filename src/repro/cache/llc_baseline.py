@@ -1,0 +1,83 @@
+"""Baseline shared LLC (also models Truncate's and Doppelgänger's LLCs).
+
+A conventional set-associative cache in front of DRAM.  The comparison
+designs reuse it with modifiers:
+
+* **Truncate** stores approximate lines at half width, effectively
+  doubling capacity for approximate data, and moves 32 bytes per
+  approximate line on the memory link.
+* **Doppelgänger** shares data entries between similar lines; its
+  effective capacity gain is the measured dedup factor, capped by its
+  4x tag-array reach.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..common.config import CacheConfig
+from ..common.stats import StatCounter
+from ..memory.dram import DRAM
+from .base import SetAssocCache
+
+
+class BaselineLLC:
+    """Shared last-level cache over DRAM."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        dram: DRAM,
+        is_approx: Callable[[int], bool] | None = None,
+        capacity_multiplier: float = 1.0,
+        approx_line_bytes: int = 64,
+    ) -> None:
+        self.cache = SetAssocCache(config, capacity_multiplier)
+        self.latency = config.latency_cycles
+        self.dram = dram
+        self.is_approx = is_approx or (lambda addr: False)
+        self.approx_line_bytes = approx_line_bytes
+        self.stats = StatCounter()
+
+    def _dram_lines_bytes(self, addr: int) -> int:
+        """Bytes a line transfer costs on the memory link."""
+        if self.approx_line_bytes != 64 and self.is_approx(addr):
+            return self.approx_line_bytes
+        return 64
+
+    def _transfer(self, addr: int, write: bool) -> int:
+        nbytes = self._dram_lines_bytes(addr)
+        self.stats.add(
+            "bytes_approx" if self.is_approx(addr) else "bytes_exact", nbytes
+        )
+        if nbytes == 64:
+            return self.dram.access(addr, 1, write=write)
+        latency = self.dram.access(addr, 1, write=write)
+        # Credit back the saved half-line of traffic and occupancy.
+        self.dram.stats.add("bytes_written" if write else "bytes_read", nbytes - 64)
+        channel = (addr // 64) % self.dram.config.channels
+        self.dram.channel_busy[channel] -= self.dram.config.burst_cycles // 2
+        return latency
+
+    def _handle_victim(self, victim: tuple[int, bool] | None) -> None:
+        if victim is not None and victim[1]:
+            self._transfer(victim[0], write=True)
+            self.stats.add("writebacks")
+
+    def read(self, addr: int) -> int:
+        hit, victim = self.cache.access(addr, write=False)
+        if hit:
+            self.stats.add("llc_hits")
+            return self.latency
+        self.stats.add("llc_misses")
+        self._handle_victim(victim)
+        return self.latency + self._transfer(addr, write=False)
+
+    def writeback(self, addr: int) -> int:
+        victim = self.cache.insert(addr, dirty=True)
+        self._handle_victim(victim)
+        return self.latency
+
+    @property
+    def mpki_misses(self) -> int:
+        return int(self.stats["llc_misses"])

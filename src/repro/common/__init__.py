@@ -1,0 +1,33 @@
+"""Shared constants, configuration, types and utilities."""
+
+from . import bitops, constants
+from .config import CacheConfig, CoreConfig, DRAMConfig, SystemConfig
+from .stats import StatCounter
+from .types import (
+    AccessType,
+    COMPARED_DESIGNS,
+    CompressionMethod,
+    DataType,
+    Design,
+    ErrorThresholds,
+    EvictionOutcome,
+    LLCRequestOutcome,
+)
+
+__all__ = [
+    "AccessType",
+    "COMPARED_DESIGNS",
+    "CacheConfig",
+    "CompressionMethod",
+    "CoreConfig",
+    "DRAMConfig",
+    "DataType",
+    "Design",
+    "ErrorThresholds",
+    "EvictionOutcome",
+    "LLCRequestOutcome",
+    "StatCounter",
+    "SystemConfig",
+    "bitops",
+    "constants",
+]

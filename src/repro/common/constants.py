@@ -1,0 +1,84 @@
+"""Architectural constants shared across the AVR reproduction.
+
+These mirror the fixed parameters of the ICPP 2019 paper: 64-byte
+cachelines, memory blocks of 16 cachelines (1 KB, a quarter of a 4 KB
+page), 32-bit values, and the compressed-block format limits.
+"""
+
+from __future__ import annotations
+
+#: Size of a cacheline in bytes (granularity of main-memory access).
+CACHELINE_BYTES: int = 64
+
+#: Number of cachelines in an AVR memory block.
+BLOCK_CACHELINES: int = 16
+
+#: Size of an AVR memory block in bytes (1 KB, a quarter of a 4 KB page).
+BLOCK_BYTES: int = CACHELINE_BYTES * BLOCK_CACHELINES
+
+#: Width of an approximable value in bytes (the paper supports 32-bit
+#: float and fixed-point formats).
+VALUE_BYTES: int = 4
+
+#: Number of 32-bit values in a cacheline.
+VALUES_PER_CACHELINE: int = CACHELINE_BYTES // VALUE_BYTES
+
+#: Number of 32-bit values in a memory block (256).
+VALUES_PER_BLOCK: int = BLOCK_BYTES // VALUE_BYTES
+
+#: Downsampling factor: values per sub-block averaged into one summary
+#: value (16:1 target compression ratio).
+SUBBLOCK_VALUES: int = 16
+
+#: Number of summary values per block (256 / 16 = 16 → exactly one
+#: cacheline of summary).
+SUMMARY_VALUES: int = VALUES_PER_BLOCK // SUBBLOCK_VALUES
+
+#: Side of the square when a block is viewed as a 2D array (16 x 16).
+BLOCK_SIDE_2D: int = 16
+
+#: Side of a 2D sub-block tile (4 x 4 = 16 values).
+TILE_SIDE_2D: int = 4
+
+#: Number of tiles per side in the 2D view (16 / 4).
+TILES_PER_SIDE_2D: int = BLOCK_SIDE_2D // TILE_SIDE_2D
+
+#: Outlier bitmap size: one bit per 32-bit value = 256 bits = 32 bytes
+#: (half a cacheline).
+BITMAP_BYTES: int = VALUES_PER_BLOCK // 8
+
+#: Maximum size of a *compressed* block, in cachelines.  A block that
+#: needs more than this is stored uncompressed (2:1 worst-case ratio).
+MAX_COMPRESSED_CACHELINES: int = 8
+
+#: Maximum number of outliers a compressed block can embed:
+#: 8 CLs - 1 summary CL - half-CL bitmap leaves (8*64 - 64 - 32)/4 values.
+MAX_OUTLIERS: int = (
+    MAX_COMPRESSED_CACHELINES * CACHELINE_BYTES - CACHELINE_BYTES - BITMAP_BYTES
+) // VALUE_BYTES
+
+#: Page size assumed by the CMT layout (4 KB → 4 blocks per page).
+PAGE_BYTES: int = 4096
+
+#: Memory blocks per page.
+BLOCKS_PER_PAGE: int = PAGE_BYTES // BLOCK_BYTES
+
+#: Compression pipeline latency in processor cycles (from the paper's
+#: RTL synthesis: total block compression latency).
+COMPRESS_LATENCY_CYCLES: int = 49
+
+#: Decompression pipeline latency in processor cycles.
+DECOMPRESS_LATENCY_CYCLES: int = 12
+
+#: CMT entry width in bits (size 3 + lazy 4 + method 2 + bias 8 +
+#: failed 4 + skipped 2 = 23 bits, Figure 3).
+CMT_ENTRY_BITS: int = 23
+
+#: Extra tag/BPA bits the AVR LLC adds per data-array entry (paper §4.2).
+AVR_LLC_EXTRA_BITS_PER_ENTRY: int = 18
+
+#: Maximum value of the consecutive-failed-compressions counter (4 bits).
+MAX_FAILED_COUNT: int = 15
+
+#: Maximum value of the skipped-compressions counter (2 bits).
+MAX_SKIP_COUNT: int = 3

@@ -1,0 +1,53 @@
+"""Lightweight statistics counters shared by the simulators."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping
+
+
+class StatCounter:
+    """A named bag of integer/float counters with arithmetic helpers.
+
+    The simulators accumulate event counts (hits, misses, bytes, cycles)
+    into one of these; the harness reads them out for the figures.
+    """
+
+    def __init__(self, initial: Mapping[str, float] | None = None) -> None:
+        self._counts: Counter = Counter()
+        if initial:
+            self._counts.update(initial)
+
+    def add(self, name: str, amount: float = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str, default: float = 0) -> float:
+        return self._counts.get(name, default)
+
+    def __getitem__(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def merge(self, other: "StatCounter") -> None:
+        self._counts.update(other._counts)
+
+    def reset(self, names: Iterable[str] | None = None) -> None:
+        if names is None:
+            self._counts.clear()
+        else:
+            for name in names:
+                self._counts.pop(name, None)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._counts)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """``counts[num] / counts[den]``, 0 when the denominator is 0."""
+        den = self._counts.get(denominator, 0)
+        return self._counts.get(numerator, 0) / den if den else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"StatCounter({body})"

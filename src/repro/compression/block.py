@@ -1,0 +1,121 @@
+"""Compressed memory-block container and its byte-level image (Fig. 2a).
+
+A compressed block occupies 1-8 cachelines of its 16-cacheline slot in
+main memory:
+
+* cacheline 0 — the 16-value summary (int32 fixed point, exponent-biased);
+* cacheline 1, first half — the 256-bit outlier bitmap (only present
+  when there are outliers);
+* the packed 32-bit outlier values follow, in block order;
+* the remaining cachelines of the 1 KB slot stay free for lazily
+  evicted uncompressed cachelines.
+
+``method`` and ``bias`` live in the block's CMT entry, not in the block
+image, so unpacking requires them as arguments — exactly as the
+hardware consults the CMT before decompressing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.constants import (
+    BITMAP_BYTES,
+    CACHELINE_BYTES,
+    SUMMARY_VALUES,
+    VALUE_BYTES,
+    VALUES_PER_BLOCK,
+)
+from ..common.types import CompressionMethod
+from .outliers import compressed_size_cachelines, pack_bitmap, unpack_bitmap
+
+
+@dataclass
+class CompressedBlock:
+    """In-memory representation of one compressed 1 KB block."""
+
+    method: CompressionMethod
+    bias: int
+    summary: np.ndarray  # (16,) int32
+    outlier_mask: np.ndarray = field(
+        default_factory=lambda: np.zeros(VALUES_PER_BLOCK, dtype=bool)
+    )
+    outlier_bits: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.uint32)
+    )  # raw 32-bit images of outlier values, in block order
+
+    def __post_init__(self) -> None:
+        self.summary = np.asarray(self.summary, dtype=np.int32)
+        if self.summary.shape != (SUMMARY_VALUES,):
+            raise ValueError(f"summary must have shape ({SUMMARY_VALUES},)")
+        self.outlier_mask = np.asarray(self.outlier_mask, dtype=bool)
+        if self.outlier_mask.shape != (VALUES_PER_BLOCK,):
+            raise ValueError(f"outlier_mask must have shape ({VALUES_PER_BLOCK},)")
+        self.outlier_bits = np.asarray(self.outlier_bits, dtype=np.uint32)
+        if int(self.outlier_mask.sum()) != self.outlier_bits.size:
+            raise ValueError(
+                f"bitmap marks {int(self.outlier_mask.sum())} outliers but "
+                f"{self.outlier_bits.size} values supplied"
+            )
+        if self.method == CompressionMethod.UNCOMPRESSED:
+            raise ValueError("a CompressedBlock cannot have method UNCOMPRESSED")
+
+    @property
+    def outlier_count(self) -> int:
+        return int(self.outlier_bits.size)
+
+    @property
+    def size_cachelines(self) -> int:
+        """Cachelines this block occupies in its memory slot (1-8)."""
+        return int(compressed_size_cachelines(np.array([self.outlier_count]))[0])
+
+    @property
+    def free_cachelines(self) -> int:
+        """Cachelines left in the 1 KB slot for lazy evictions."""
+        from ..common.constants import BLOCK_CACHELINES
+
+        return BLOCK_CACHELINES - self.size_cachelines
+
+    def pack(self) -> bytes:
+        """Serialize to the byte image stored in main memory."""
+        size = self.size_cachelines
+        buf = np.zeros(size * CACHELINE_BYTES, dtype=np.uint8)
+        buf[:CACHELINE_BYTES] = self.summary.view(np.uint8)
+        if self.outlier_count:
+            bitmap = pack_bitmap(self.outlier_mask[None, :])[0]
+            buf[CACHELINE_BYTES : CACHELINE_BYTES + BITMAP_BYTES] = bitmap
+            start = CACHELINE_BYTES + BITMAP_BYTES
+            raw = self.outlier_bits.view(np.uint8)
+            buf[start : start + raw.size] = raw
+        return buf.tobytes()
+
+    @classmethod
+    def unpack(
+        cls,
+        data: bytes,
+        method: CompressionMethod,
+        bias: int,
+        size_cachelines: int,
+    ) -> "CompressedBlock":
+        """Rebuild a block from its byte image plus its CMT metadata."""
+        if size_cachelines < 1:
+            raise ValueError("compressed block needs at least one cacheline")
+        if len(data) < size_cachelines * CACHELINE_BYTES:
+            raise ValueError(
+                f"image too short: {len(data)} bytes for {size_cachelines} CLs"
+            )
+        buf = np.frombuffer(data, dtype=np.uint8, count=size_cachelines * CACHELINE_BYTES)
+        summary = buf[:CACHELINE_BYTES].view(np.int32).copy()
+        if size_cachelines == 1:
+            return cls(method=method, bias=bias, summary=summary)
+        bitmap = buf[CACHELINE_BYTES : CACHELINE_BYTES + BITMAP_BYTES]
+        mask = unpack_bitmap(bitmap[None, :])[0]
+        count = int(mask.sum())
+        start = CACHELINE_BYTES + BITMAP_BYTES
+        bits = buf[start : start + count * VALUE_BYTES].view(np.uint32).copy()
+        return cls(
+            method=method, bias=bias, summary=summary,
+            outlier_mask=mask, outlier_bits=bits,
+        )

@@ -1,0 +1,319 @@
+"""The AVR compressor/decompressor pipeline (paper §3.3, Figure 4).
+
+The batch API (:meth:`AVRCompressor.compress_blocks`) processes an
+``(nblocks, 256)`` array in one vectorized pass: exponent biasing,
+float-to-fixed conversion, both downsampling variants (1D and 2D) in
+parallel, reconstruction, outlier detection and the T1/T2 error checks.
+It is the hot path of the functional simulation layer and never loops
+over individual values.
+
+The scalar API (:meth:`compress_block` / :meth:`decompress_block`)
+wraps it for single blocks and returns/accepts the byte-accurate
+:class:`~repro.compression.block.CompressedBlock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common import bitops
+from ..common.constants import BLOCK_CACHELINES, MAX_COMPRESSED_CACHELINES, VALUES_PER_BLOCK
+from ..common.types import CompressionMethod, DataType, ErrorThresholds
+from ..fixedpoint.bias import BIAS_FIELD_MAX, BIAS_FIELD_MIN, TARGET_MAX_EXPONENT
+from ..fixedpoint.convert import DEFAULT_FORMAT, FixedPointFormat, fixed_to_float
+from .block import CompressedBlock
+from .downsample import downsample_1d, downsample_2d, reconstruct_1d, reconstruct_2d
+from .errors import relative_error
+from .outliers import (
+    block_average_error,
+    compressed_size_cachelines,
+    detect_outliers,
+)
+
+
+@dataclass
+class BatchCompressionResult:
+    """Per-block outcome of a batch compression pass.
+
+    ``reconstructed`` holds the values a consumer would read back after
+    a round trip through memory: the interpolated approximation with
+    outliers restored verbatim, or the original values where the block
+    failed to compress.
+    """
+
+    success: np.ndarray            # (B,) bool
+    method: np.ndarray             # (B,) uint8 (CompressionMethod values)
+    bias: np.ndarray               # (B,) int16
+    size_cachelines: np.ndarray    # (B,) int32; BLOCK_CACHELINES where failed
+    outlier_count: np.ndarray      # (B,) int32
+    avg_error: np.ndarray          # (B,) float64 over non-outliers
+    reconstructed: np.ndarray      # (B, 256) same dtype as input
+    summaries: np.ndarray          # (B, 16) int32 fixed point
+    outlier_mask: np.ndarray       # (B, 256) bool
+
+    @property
+    def nblocks(self) -> int:
+        return int(self.success.size)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Aggregate ratio: original cachelines / stored cachelines."""
+        stored = int(self.size_cachelines.sum())
+        return self.nblocks * BLOCK_CACHELINES / stored if stored else float("inf")
+
+
+#: the downsampling variants attempted in parallel by default
+DEFAULT_METHODS = (
+    CompressionMethod.DOWNSAMPLE_1D,
+    CompressionMethod.DOWNSAMPLE_2D,
+)
+
+_METHOD_KERNELS = {
+    CompressionMethod.DOWNSAMPLE_1D: (downsample_1d, reconstruct_1d),
+    CompressionMethod.DOWNSAMPLE_2D: (downsample_2d, reconstruct_2d),
+}
+
+
+class AVRCompressor:
+    """Vectorized model of the AVR compressor/decompressor module.
+
+    ``methods`` restricts the placement variants attempted (ablation of
+    the parallel method selection); ``enable_bias`` disables exponent
+    biasing (ablation of §3.3's biasing stage).
+    """
+
+    def __init__(
+        self,
+        thresholds: ErrorThresholds | None = None,
+        fmt: FixedPointFormat = DEFAULT_FORMAT,
+        check_mode: str = "hybrid",
+        methods: tuple[CompressionMethod, ...] = DEFAULT_METHODS,
+        enable_bias: bool = True,
+    ) -> None:
+        self.thresholds = thresholds or ErrorThresholds()
+        self.fmt = fmt
+        self.check_mode = check_mode
+        if not methods or any(m not in _METHOD_KERNELS for m in methods):
+            raise ValueError(f"methods must be non-empty downsampling variants, got {methods}")
+        self.methods = tuple(methods)
+        self.enable_bias = enable_bias
+
+    # ------------------------------------------------------------------
+    # biasing (vectorized over blocks)
+    # ------------------------------------------------------------------
+    def _choose_biases(self, blocks: np.ndarray) -> np.ndarray:
+        """Per-block exponent bias, 0 where biasing is skipped."""
+        exps = bitops.exponent_bits(blocks)  # (B, 256) int16
+        special = (exps == bitops.EXP_MAX).any(axis=1)
+        nonzero = exps > 0
+        has_nonzero = nonzero.any(axis=1)
+        maxe = np.where(nonzero, exps, np.int16(-1)).max(axis=1).astype(np.int32)
+        mine = np.where(nonzero, exps, np.int16(999)).min(axis=1).astype(np.int32)
+        bias = TARGET_MAX_EXPONENT - maxe
+        valid = (
+            has_nonzero
+            & ~special
+            & (mine + bias >= 1)
+            & (maxe + bias <= 254)
+            & (bias >= BIAS_FIELD_MIN)
+            & (bias <= BIAS_FIELD_MAX)
+        )
+        return np.where(valid, bias, 0).astype(np.int16)
+
+    def _to_fixed(self, blocks: np.ndarray, bias: np.ndarray) -> np.ndarray:
+        """Bias and convert float32 blocks to fixed point (saturating)."""
+        biased = np.ldexp(blocks.astype(np.float64), bias[:, None])
+        scaled = np.rint(biased * self.fmt.scale)
+        clipped = np.clip(
+            np.nan_to_num(scaled, nan=0.0, posinf=self.fmt.max_int, neginf=self.fmt.min_int),
+            self.fmt.min_int,
+            self.fmt.max_int,
+        )
+        return clipped.astype(np.int32)
+
+    def _from_fixed(self, fixed: np.ndarray, bias: np.ndarray) -> np.ndarray:
+        """Convert fixed point back to float32 and remove the bias."""
+        values = fixed.astype(np.float64) / self.fmt.scale
+        return np.ldexp(values, -bias[:, None]).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # batch compression
+    # ------------------------------------------------------------------
+    def compress_blocks(
+        self, blocks: np.ndarray, dtype: DataType = DataType.FLOAT32
+    ) -> BatchCompressionResult:
+        """Compress every row of an ``(nblocks, 256)`` array."""
+        blocks = np.asarray(blocks)
+        if blocks.ndim != 2 or blocks.shape[1] != VALUES_PER_BLOCK:
+            raise ValueError(
+                f"expected (nblocks, {VALUES_PER_BLOCK}), got {blocks.shape}"
+            )
+        if dtype == DataType.FLOAT32:
+            return self._compress_float(blocks.astype(np.float32, copy=False))
+        return self._compress_fixed(blocks.astype(np.int32, copy=False))
+
+    def _compress_float(self, blocks: np.ndarray) -> BatchCompressionResult:
+        if self.enable_bias:
+            bias = self._choose_biases(blocks)
+        else:
+            bias = np.zeros(blocks.shape[0], dtype=np.int16)
+        fixed = self._to_fixed(blocks, bias)
+
+        candidates = []
+        for method in self.methods:
+            down, recon = _METHOD_KERNELS[method]
+            summary = down(fixed)
+            recon_f = self._from_fixed(recon(summary), bias)
+            mask = detect_outliers(blocks, recon_f, self.thresholds, self.check_mode)
+            counts = mask.sum(axis=1).astype(np.int32)
+            sizes = compressed_size_cachelines(counts)
+            avg = block_average_error(blocks, recon_f, mask, self.check_mode)
+            candidates.append((method, summary, recon_f, mask, counts, sizes, avg))
+
+        return self._select_and_finalize(blocks, bias, candidates)
+
+    def _compress_fixed(self, blocks: np.ndarray) -> BatchCompressionResult:
+        """Fixed-point path: no biasing or format conversion, relative check."""
+        bias = np.zeros(blocks.shape[0], dtype=np.int16)
+        as_float = blocks.astype(np.float64)
+
+        candidates = []
+        for method in self.methods:
+            down, recon = _METHOD_KERNELS[method]
+            summary = down(blocks)
+            recon_i = recon(summary)
+            err = relative_error(as_float, recon_i.astype(np.float64))
+            mask = err > self.thresholds.t1
+            counts = mask.sum(axis=1).astype(np.int32)
+            sizes = compressed_size_cachelines(counts)
+            keep = ~mask
+            kcount = np.maximum(keep.sum(axis=1), 1)
+            avg = np.where(keep, err, 0.0).sum(axis=1) / kcount
+            candidates.append((method, summary, recon_i, mask, counts, sizes, avg))
+
+        return self._select_and_finalize(blocks, bias, candidates)
+
+    def _select_and_finalize(
+        self, blocks: np.ndarray, bias: np.ndarray, candidates: list
+    ) -> BatchCompressionResult:
+        """Pick the best variant per block and apply the T2/size checks.
+
+        Preference: smaller compressed size, ties broken on average
+        error (all variants are computed in parallel in hardware).
+        """
+        m1, s1, r1, o1, c1, z1, e1 = candidates[0]
+        method = np.full(blocks.shape[0], np.uint8(m1))
+        summaries, recon, mask = s1, r1, o1
+        counts, sizes, avg = c1, z1.astype(np.int32), e1
+        for m2, s2, r2, o2, c2, z2, e2 in candidates[1:]:
+            use2 = (z2 < sizes) | ((z2 == sizes) & (e2 < avg))
+            method = np.where(use2, np.uint8(m2), method)
+            summaries = np.where(use2[:, None], s2, summaries)
+            recon = np.where(use2[:, None], r2, recon)
+            mask = np.where(use2[:, None], o2, mask)
+            counts = np.where(use2, c2, counts)
+            sizes = np.where(use2, z2, sizes).astype(np.int32)
+            avg = np.where(use2, e2, avg)
+
+        success = (sizes <= MAX_COMPRESSED_CACHELINES) & (avg <= self.thresholds.t2)
+        sizes = np.where(success, sizes, BLOCK_CACHELINES).astype(np.int32)
+        method = np.where(success, method, np.uint8(CompressionMethod.UNCOMPRESSED))
+        bias = np.where(success, bias, 0).astype(np.int16)
+
+        # Round-trip view: approximated values with outliers restored,
+        # originals where compression failed.
+        reconstructed = np.where(mask | ~success[:, None], blocks, recon)
+        counts = np.where(success, counts, 0).astype(np.int32)
+        mask = mask & success[:, None]
+
+        return BatchCompressionResult(
+            success=success,
+            method=method.astype(np.uint8),
+            bias=bias,
+            size_cachelines=sizes,
+            outlier_count=counts,
+            avg_error=avg,
+            reconstructed=reconstructed,
+            summaries=summaries.astype(np.int32),
+            outlier_mask=mask,
+        )
+
+    # ------------------------------------------------------------------
+    # batch decompression
+    # ------------------------------------------------------------------
+    def decompress_blocks(
+        self,
+        summaries: np.ndarray,
+        methods: np.ndarray,
+        biases: np.ndarray,
+        dtype: DataType = DataType.FLOAT32,
+    ) -> np.ndarray:
+        """Reconstruct ``(nblocks, 256)`` values from summaries.
+
+        Outlier overlay is the caller's job (the decompressor places
+        outliers from the bitmap *after* this reconstruction, Fig. 4).
+        """
+        summaries = np.asarray(summaries, dtype=np.int32)
+        methods = np.asarray(methods)
+        biases = np.asarray(biases, dtype=np.int16)
+        recon = np.empty((summaries.shape[0], VALUES_PER_BLOCK), dtype=np.int32)
+        is1d = methods == CompressionMethod.DOWNSAMPLE_1D
+        is2d = methods == CompressionMethod.DOWNSAMPLE_2D
+        if not bool(np.all(is1d | is2d)):
+            raise ValueError("decompress_blocks requires all blocks compressed")
+        if np.any(is1d):
+            recon[is1d] = reconstruct_1d(summaries[is1d])
+        if np.any(is2d):
+            recon[is2d] = reconstruct_2d(summaries[is2d])
+        if dtype == DataType.FIXED32:
+            return recon
+        return self._from_fixed(recon, biases)
+
+    # ------------------------------------------------------------------
+    # scalar convenience API
+    # ------------------------------------------------------------------
+    def compress_block(
+        self, values: np.ndarray, dtype: DataType = DataType.FLOAT32
+    ) -> tuple[CompressedBlock | None, np.ndarray]:
+        """Compress one 256-value block.
+
+        Returns ``(block, reconstructed)``; ``block`` is None when the
+        compression attempt failed (stored uncompressed).
+        """
+        values = np.asarray(values).reshape(1, VALUES_PER_BLOCK)
+        res = self.compress_blocks(values, dtype)
+        recon = res.reconstructed[0]
+        if not bool(res.success[0]):
+            return None, recon
+        mask = res.outlier_mask[0]
+        if dtype == DataType.FLOAT32:
+            raw = values[0].astype(np.float32).view(np.uint32)
+        else:
+            raw = values[0].astype(np.int32).view(np.uint32)
+        block = CompressedBlock(
+            method=CompressionMethod(int(res.method[0])),
+            bias=int(res.bias[0]),
+            summary=res.summaries[0],
+            outlier_mask=mask,
+            outlier_bits=raw[mask],
+        )
+        return block, recon
+
+    def decompress_block(
+        self, block: CompressedBlock, dtype: DataType = DataType.FLOAT32
+    ) -> np.ndarray:
+        """Reconstruct one block, overlaying its stored outliers."""
+        recon = self.decompress_blocks(
+            block.summary[None, :],
+            np.array([block.method]),
+            np.array([block.bias]),
+            dtype,
+        )[0]
+        if block.outlier_count:
+            if dtype == DataType.FLOAT32:
+                recon[block.outlier_mask] = block.outlier_bits.view(np.float32)
+            else:
+                recon[block.outlier_mask] = block.outlier_bits.view(np.int32)
+        return recon

@@ -1,0 +1,142 @@
+"""Downsampling compression and interpolated reconstruction (paper §3.3).
+
+A 1 KB memory block holds 256 32-bit values.  Compression replaces each
+sub-block of 16 values with its average, producing a 16-value summary
+(exactly one cacheline → 16:1).  Two placement variants are attempted:
+
+* **1D**: the block is a linear array; sub-blocks are 16 consecutive
+  values; reconstruction linearly interpolates between segment centers.
+* **2D**: the block is a 16 x 16 square; sub-blocks are 4 x 4 tiles;
+  reconstruction bilinearly interpolates between tile centers (Fig. 5).
+
+All arithmetic is fixed point (int32 values, int64 intermediates) to
+mirror the integer hardware datapath.  Every function is vectorized
+over a batch axis: inputs have shape ``(nblocks, 256)``.
+
+Index/weight tables are precomputed in half-unit integer coordinates so
+interpolation is exact integer math with power-of-two divisions, as a
+hardware implementation would do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.constants import (
+    BLOCK_SIDE_2D,
+    SUBBLOCK_VALUES,
+    SUMMARY_VALUES,
+    TILE_SIDE_2D,
+    TILES_PER_SIDE_2D,
+    VALUES_PER_BLOCK,
+)
+
+
+def _build_1d_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Left/right summary indices and right-weights for 1D reconstruction.
+
+    Segment ``i`` covers positions ``[16i, 16i+15]`` with center at
+    ``16i + 7.5``.  In half-units (x2), centers sit at ``32i + 15`` and
+    positions at ``2p``; neighbor centers are 32 half-units apart, so
+    the right-weight numerator ``d`` is in ``[-15, 47]`` and the
+    division is a shift by 5 (negative / >32 weights extrapolate past
+    the outermost centers).
+    """
+    pos = 2 * np.arange(VALUES_PER_BLOCK)
+    centers = 32 * np.arange(SUMMARY_VALUES) + 15
+    left = np.clip((pos - 15) // 32, 0, SUMMARY_VALUES - 2)
+    right = left + 1
+    # d < 0 before the first center and d > 32 past the last one:
+    # linear *extrapolation* from the nearest center pair.  Clamping
+    # instead would flatten every block's first/last half-segment,
+    # turning the edges of any sloped series into systematic outliers.
+    d = pos - centers[left]
+    return left.astype(np.intp), right.astype(np.intp), d.astype(np.int64)
+
+
+def _build_2d_tables() -> tuple[np.ndarray, ...]:
+    """Index/weight tables for bilinear 2D reconstruction.
+
+    Tile ``(i, j)`` covers rows ``[4i, 4i+3]`` with center row
+    ``4i + 1.5`` (8i + 3 in half-units); positions are ``2r``.  Centers
+    are 8 half-units apart so per-axis weights are in ``[-3, 11]`` and
+    the combined bilinear division is a shift by 6.
+    """
+    coord = 2 * np.arange(BLOCK_SIDE_2D)
+    centers = 8 * np.arange(TILES_PER_SIDE_2D) + 3
+    low = np.clip((coord - 3) // 8, 0, TILES_PER_SIDE_2D - 2)
+    high = low + 1
+    # Negative / >8 weights extrapolate past the edge tile centers,
+    # mirroring the 1D tables (see _build_1d_tables).
+    d = coord - centers[low]
+
+    rows = np.repeat(np.arange(BLOCK_SIDE_2D), BLOCK_SIDE_2D)
+    cols = np.tile(np.arange(BLOCK_SIDE_2D), BLOCK_SIDE_2D)
+    r_lo, r_hi, r_d = low[rows], high[rows], d[rows]
+    c_lo, c_hi, c_d = low[cols], high[cols], d[cols]
+    # Flatten (tile_row, tile_col) -> summary index in row-major order.
+    idx00 = r_lo * TILES_PER_SIDE_2D + c_lo
+    idx01 = r_lo * TILES_PER_SIDE_2D + c_hi
+    idx10 = r_hi * TILES_PER_SIDE_2D + c_lo
+    idx11 = r_hi * TILES_PER_SIDE_2D + c_hi
+    return (
+        idx00.astype(np.intp),
+        idx01.astype(np.intp),
+        idx10.astype(np.intp),
+        idx11.astype(np.intp),
+        r_d.astype(np.int64),
+        c_d.astype(np.int64),
+    )
+
+
+_L1D, _R1D, _D1D = _build_1d_tables()
+_I00, _I01, _I10, _I11, _RD, _CD = _build_2d_tables()
+
+
+def _check_blocks(blocks: np.ndarray) -> np.ndarray:
+    blocks = np.asarray(blocks)
+    if blocks.ndim != 2 or blocks.shape[1] != VALUES_PER_BLOCK:
+        raise ValueError(
+            f"expected shape (nblocks, {VALUES_PER_BLOCK}), got {blocks.shape}"
+        )
+    return blocks.astype(np.int64, copy=False)
+
+
+def downsample_1d(blocks: np.ndarray) -> np.ndarray:
+    """Average each run of 16 consecutive values -> (nblocks, 16) int32."""
+    blocks = _check_blocks(blocks)
+    sums = blocks.reshape(-1, SUMMARY_VALUES, SUBBLOCK_VALUES).sum(axis=2)
+    return ((sums + SUBBLOCK_VALUES // 2) >> 4).astype(np.int32)
+
+
+def downsample_2d(blocks: np.ndarray) -> np.ndarray:
+    """Average each 4x4 tile of the 16x16 view -> (nblocks, 16) int32."""
+    blocks = _check_blocks(blocks)
+    grid = blocks.reshape(-1, TILES_PER_SIDE_2D, TILE_SIDE_2D, TILES_PER_SIDE_2D, TILE_SIDE_2D)
+    sums = grid.sum(axis=(2, 4))
+    return ((sums + SUBBLOCK_VALUES // 2) >> 4).reshape(-1, SUMMARY_VALUES).astype(np.int32)
+
+
+def reconstruct_1d(summaries: np.ndarray) -> np.ndarray:
+    """Linear interpolation of 1D summaries -> (nblocks, 256) int32."""
+    s = np.asarray(summaries, dtype=np.int64)
+    if s.ndim != 2 or s.shape[1] != SUMMARY_VALUES:
+        raise ValueError(f"expected shape (nblocks, {SUMMARY_VALUES}), got {s.shape}")
+    left, right = s[:, _L1D], s[:, _R1D]
+    out = (left * (32 - _D1D) + right * _D1D + 16) >> 5
+    # Edge extrapolation can overshoot the fixed-point range slightly;
+    # the hardware datapath saturates.
+    return np.clip(out, -(2**31), 2**31 - 1).astype(np.int32)
+
+
+def reconstruct_2d(summaries: np.ndarray) -> np.ndarray:
+    """Bilinear interpolation of 2D summaries -> (nblocks, 256) int32."""
+    s = np.asarray(summaries, dtype=np.int64)
+    if s.ndim != 2 or s.shape[1] != SUMMARY_VALUES:
+        raise ValueError(f"expected shape (nblocks, {SUMMARY_VALUES}), got {s.shape}")
+    v00, v01 = s[:, _I00], s[:, _I01]
+    v10, v11 = s[:, _I10], s[:, _I11]
+    top = v00 * (8 - _CD) + v01 * _CD
+    bot = v10 * (8 - _CD) + v11 * _CD
+    out = (top * (8 - _RD) + bot * _RD + 32) >> 6
+    return np.clip(out, -(2**31), 2**31 - 1).astype(np.int32)

@@ -1,0 +1,5 @@
+"""Interval-based processor models."""
+
+from .interval import IntervalCore
+
+__all__ = ["IntervalCore"]

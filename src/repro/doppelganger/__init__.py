@@ -1,0 +1,5 @@
+"""Doppelgänger approximate-dedup cache model (comparison design)."""
+
+from .dganger import DedupStats, dedup_roundtrip, line_signatures
+
+__all__ = ["DedupStats", "dedup_roundtrip", "line_signatures"]

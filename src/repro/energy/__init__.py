@@ -1,0 +1,5 @@
+"""Energy modelling (McPAT/CACTI stand-in)."""
+
+from .model import COMPONENTS, EnergyBreakdown, EnergyCoefficients, EnergyModel
+
+__all__ = ["COMPONENTS", "EnergyBreakdown", "EnergyCoefficients", "EnergyModel"]

@@ -1,0 +1,89 @@
+"""System energy model (McPAT/CACTI stand-in, 32 nm-era coefficients).
+
+Energy is dynamic (per-event) plus static (per-second) for each of the
+five components the paper's Figure 10 breaks down: core, L1+L2, LLC,
+DRAM and the AVR compressor/decompressor.  Absolute joules are
+order-of-magnitude plausible for a 32 nm CMP; the figures report values
+normalized to the baseline, so relative accuracy — which follows the
+simulated event counts and execution time — is what matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """Per-event dynamic energies (nJ) and static powers (W)."""
+
+    core_nj_per_instruction: float = 0.35
+    l1_nj_per_access: float = 0.012
+    l2_nj_per_access: float = 0.045
+    llc_nj_per_access: float = 0.18
+    dram_nj_per_line: float = 8.0
+    compressor_nj_per_op: float = 0.45
+
+    core_static_w_per_core: float = 0.55
+    l12_static_w_per_core: float = 0.08
+    llc_static_w: float = 0.45
+    dram_static_w: float = 0.90
+    compressor_static_w: float = 0.04
+
+
+#: Figure 10 component labels, in plot order.
+COMPONENTS = ("Core", "L1+L2", "LLC", "DRAM", "Compressor/Decompressor")
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules per component."""
+
+    joules: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.joules.values())
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> dict[str, float]:
+        ref = baseline.total
+        return {k: v / ref for k, v in self.joules.items()} if ref else dict(self.joules)
+
+
+class EnergyModel:
+    """Turns simulator event counts into a Figure 10-style breakdown."""
+
+    def __init__(self, coefficients: EnergyCoefficients | None = None) -> None:
+        self.c = coefficients or EnergyCoefficients()
+
+    def compute(
+        self,
+        counts: Mapping[str, float],
+        seconds: float,
+        num_cores: int,
+        has_compressor: bool = False,
+    ) -> EnergyBreakdown:
+        """``counts`` keys: instructions, l1_accesses, l2_accesses,
+        llc_accesses, dram_lines, compressor_ops."""
+        c = self.c
+        nj = 1e-9
+        joules = {
+            "Core": counts.get("instructions", 0) * c.core_nj_per_instruction * nj
+            + num_cores * c.core_static_w_per_core * seconds,
+            "L1+L2": (
+                counts.get("l1_accesses", 0) * c.l1_nj_per_access
+                + counts.get("l2_accesses", 0) * c.l2_nj_per_access
+            )
+            * nj
+            + num_cores * c.l12_static_w_per_core * seconds,
+            "LLC": counts.get("llc_accesses", 0) * c.llc_nj_per_access * nj
+            + c.llc_static_w * seconds,
+            "DRAM": counts.get("dram_lines", 0) * c.dram_nj_per_line * nj
+            + c.dram_static_w * seconds,
+            "Compressor/Decompressor": (
+                counts.get("compressor_ops", 0) * c.compressor_nj_per_op * nj
+                + (c.compressor_static_w * seconds if has_compressor else 0.0)
+            ),
+        }
+        return EnergyBreakdown(joules)

@@ -1,0 +1,59 @@
+"""Experiment harness: regenerates every table and figure."""
+
+from .ablations import (
+    COMPRESSOR_ABLATIONS,
+    LLC_ABLATIONS,
+    run_compressor_ablations,
+    run_llc_ablations,
+)
+from .experiments import (
+    EVICTION_CATEGORIES,
+    GEOMEAN,
+    REQUEST_CATEGORIES,
+    fig09_execution_time,
+    fig10_energy,
+    fig11_memory_traffic,
+    fig12_amat,
+    fig13_mpki,
+    fig14_llc_requests,
+    fig15_llc_evictions,
+    hardware_overheads,
+    table3_output_error,
+    table4_compression,
+)
+from .report import format_stacked, format_table, transpose
+from .runner import (
+    ALL_DESIGNS,
+    DesignRun,
+    WorkloadEvaluation,
+    evaluate_all,
+    evaluate_workload,
+)
+
+__all__ = [
+    "ALL_DESIGNS",
+    "COMPRESSOR_ABLATIONS",
+    "LLC_ABLATIONS",
+    "run_compressor_ablations",
+    "run_llc_ablations",
+    "DesignRun",
+    "EVICTION_CATEGORIES",
+    "GEOMEAN",
+    "REQUEST_CATEGORIES",
+    "WorkloadEvaluation",
+    "evaluate_all",
+    "evaluate_workload",
+    "fig09_execution_time",
+    "fig10_energy",
+    "fig11_memory_traffic",
+    "fig12_amat",
+    "fig13_mpki",
+    "fig14_llc_requests",
+    "fig15_llc_evictions",
+    "format_stacked",
+    "format_table",
+    "hardware_overheads",
+    "table3_output_error",
+    "table4_compression",
+    "transpose",
+]

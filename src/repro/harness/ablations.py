@@ -1,0 +1,134 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Two families:
+
+* **LLC ablations** — switch off the AVR architecture's optimizations
+  one at a time (DBUF, PFE policy, lazy eviction, skip counters,
+  CMS-LRU refresh) and measure time/traffic/AMAT against full AVR.
+* **Compressor ablations** — restrict the compression pipeline (single
+  downsampling variant, no exponent biasing, strict hardware error
+  check) and measure ratio/error on real workload data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.config import SystemConfig
+from ..common.constants import VALUES_PER_BLOCK
+from ..common.types import CompressionMethod, Design
+from ..compression.compressor import AVRCompressor
+from ..compression.errors import relative_error
+from ..system.factory import build_system
+from ..trace.generator import generate_trace
+from ..workloads import make_workload
+from .runner import _build_layout
+
+#: LLC-level ablation variants: label -> AVRLLC keyword overrides.
+LLC_ABLATIONS: dict[str, dict] = {
+    "full AVR": {},
+    "no DBUF": {"enable_dbuf": False},
+    "no lazy eviction": {"enable_lazy_eviction": False},
+    "no skip counters": {"enable_skip_counters": False},
+    "no CMS-LRU refresh": {"enable_cms_lru_refresh": False},
+    "PFE always": {"pfe_threshold": 0},
+    "PFE never": {"pfe_threshold": 17},  # more lines than a block has
+}
+
+
+@dataclass
+class AblationPoint:
+    """Timing metrics of one ablation variant (normalized by caller)."""
+
+    cycles: float
+    total_bytes: int
+    amat_cycles: float
+    llc_mpki: float
+
+
+def run_llc_ablations(
+    workload_name: str = "heat",
+    config: SystemConfig | None = None,
+    scale: float = 1.0,
+    max_accesses_per_core: int = 40_000,
+    variants: dict[str, dict] | None = None,
+    **workload_kwargs,
+) -> dict[str, AblationPoint]:
+    """Run the AVR timing system under each ablation variant."""
+    config = config or SystemConfig.scaled(num_cores=8)
+    variants = variants if variants is not None else LLC_ABLATIONS
+    workload = make_workload(workload_name, scale=scale, **workload_kwargs)
+    reference = workload.run(Design.BASELINE)
+    avr_run = workload.run(Design.AVR)
+    layout = _build_layout(workload, avr_run)
+    trace = generate_trace(
+        workload.trace_spec(),
+        reference.memory,
+        num_cores=config.num_cores,
+        max_accesses_per_core=max_accesses_per_core,
+    )
+
+    results: dict[str, AblationPoint] = {}
+    for label, options in variants.items():
+        system = build_system(
+            Design.AVR,
+            config,
+            layout,
+            reference.memory.footprint_bytes,
+            avr_options=options,
+        )
+        res = system.run(trace)
+        results[label] = AblationPoint(
+            cycles=res.cycles,
+            total_bytes=res.total_bytes,
+            amat_cycles=res.amat_cycles,
+            llc_mpki=res.llc_mpki,
+        )
+    return results
+
+
+#: Compressor-level ablation variants: label -> AVRCompressor kwargs.
+COMPRESSOR_ABLATIONS: dict[str, dict] = {
+    "full pipeline": {},
+    "1D only": {"methods": (CompressionMethod.DOWNSAMPLE_1D,)},
+    "2D only": {"methods": (CompressionMethod.DOWNSAMPLE_2D,)},
+    "no biasing": {"enable_bias": False},
+    "strict float check": {"check_mode": "hardware"},
+}
+
+
+def run_compressor_ablations(
+    workload_name: str = "orbit",
+    scale: float = 0.5,
+    variants: dict[str, dict] | None = None,
+    **workload_kwargs,
+) -> dict[str, dict[str, float]]:
+    """Compression ratio / mean error per compressor variant, measured
+    on the workload's real (baseline-run) approximable data."""
+    variants = variants if variants is not None else COMPRESSOR_ABLATIONS
+    workload = make_workload(workload_name, scale=scale, **workload_kwargs)
+    reference = workload.run(Design.BASELINE)
+
+    arrays = [
+        region.array.ravel()
+        for region in reference.memory.regions.values()
+        if region.approx
+    ]
+    flat = np.concatenate(arrays).astype(np.float32)
+    nblocks = flat.size // VALUES_PER_BLOCK
+    blocks = flat[: nblocks * VALUES_PER_BLOCK].reshape(nblocks, VALUES_PER_BLOCK)
+
+    thresholds = workload.default_thresholds
+    out: dict[str, dict[str, float]] = {}
+    for label, kwargs in variants.items():
+        comp = AVRCompressor(thresholds, **kwargs)
+        result = comp.compress_blocks(blocks)
+        err = relative_error(blocks, result.reconstructed)
+        out[label] = {
+            "ratio": result.compression_ratio,
+            "mean_error_pct": float(err.mean()) * 100.0,
+            "success_pct": float(result.success.mean()) * 100.0,
+        }
+    return out

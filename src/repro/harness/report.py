@@ -1,0 +1,66 @@
+"""Plain-text rendering of the tables and figure series.
+
+The paper's figures are bar charts; the harness prints the underlying
+series as aligned tables (one column per workload), which is what a
+reproduction compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def format_table(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    fmt: str = "{:.2f}",
+    col_order: list[str] | None = None,
+) -> str:
+    """Render ``rows[row_label][col_label] = value`` as aligned text."""
+    columns = col_order or sorted({c for r in rows.values() for c in r})
+    widths = [max(len(c), 8) for c in columns]
+    label_w = max([len(r) for r in rows] + [10])
+
+    lines = [title, "=" * len(title)]
+    header = " " * label_w + "  " + "  ".join(
+        c.rjust(w) for c, w in zip(columns, widths)
+    )
+    lines.append(header)
+    for label, row in rows.items():
+        cells = []
+        for c, w in zip(columns, widths):
+            cells.append(
+                fmt.format(row[c]).rjust(w) if c in row else "-".rjust(w)
+            )
+        lines.append(label.ljust(label_w) + "  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_stacked(
+    title: str,
+    data: Mapping[str, Mapping[str, Mapping[str, float]]],
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render nested ``data[workload][design][part]`` tables."""
+    blocks = [title, "=" * len(title)]
+    for workload, designs in data.items():
+        parts = sorted({p for d in designs.values() for p in d})
+        blocks.append(f"\n[{workload}]")
+        header = " " * 12 + "  ".join(p.rjust(12) for p in parts + ["total"])
+        blocks.append(header)
+        for design, values in designs.items():
+            cells = [fmt.format(values.get(p, 0.0)).rjust(12) for p in parts]
+            cells.append(fmt.format(sum(values.values())).rjust(12))
+            blocks.append(design.ljust(12) + "  ".join(cells))
+    return "\n".join(blocks)
+
+
+def transpose(
+    rows: Mapping[str, Mapping[str, float]]
+) -> dict[str, dict[str, float]]:
+    """Swap row/column orientation of a 2-level table."""
+    out: dict[str, dict[str, float]] = {}
+    for r, cols in rows.items():
+        for c, v in cols.items():
+            out.setdefault(c, {})[r] = v
+    return out

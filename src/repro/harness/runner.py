@@ -1,0 +1,206 @@
+"""End-to-end evaluation runner: functional layer + timing layer.
+
+For one workload, :func:`evaluate_workload` runs the functional
+simulation under every design (output error, compression ratios, dedup
+factors, iteration counts), builds the timing layer's address layout
+from the measured per-block sizes, replays the workload's synthetic
+trace through each design's timing system, and bundles everything the
+tables and figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.config import SystemConfig
+from ..common.constants import BLOCK_CACHELINES
+from ..common.types import COMPARED_DESIGNS, Design
+from ..system.factory import build_system
+from ..system.layout import AddressLayout
+from ..system.simulator import SimResult
+from ..trace.generator import generate_trace
+from ..workloads import make_workload
+from ..workloads.base import Workload, WorkloadResult
+
+#: design points evaluated by default (baseline + the four compared)
+ALL_DESIGNS = (Design.BASELINE,) + COMPARED_DESIGNS
+
+
+@dataclass
+class DesignRun:
+    """One design point's functional + timing outcome on one workload."""
+
+    design: Design
+    output_error: float
+    iterations: int
+    compression_ratio: float
+    dedup_factor: float
+    timing: SimResult
+
+
+@dataclass
+class WorkloadEvaluation:
+    """Everything measured for one workload across all designs."""
+
+    name: str
+    baseline_iterations: int
+    footprint_bytes: int
+    timing_approx_bytes: int
+    avr_compression_ratio: float
+    runs: dict[Design, DesignRun] = field(default_factory=dict)
+
+    @property
+    def approx_fraction(self) -> float:
+        if not self.footprint_bytes:
+            return 0.0
+        return min(1.0, self.timing_approx_bytes / self.footprint_bytes)
+
+    @property
+    def footprint_vs_baseline(self) -> float:
+        """Table 4 row 2: stored data volume / baseline volume."""
+        frac = self.approx_fraction
+        ratio = max(self.avr_compression_ratio, 1e-9)
+        return (1.0 - frac) + frac / ratio
+
+    def baseline(self) -> DesignRun:
+        return self.runs[Design.BASELINE]
+
+    def normalized(self, design: Design, metric: str) -> float:
+        """Design metric / baseline metric (iteration-count adjusted)."""
+        run, base = self.runs[design], self.baseline()
+        if metric == "time":
+            return run.timing.adjusted_cycles / base.timing.cycles
+        if metric == "energy":
+            return run.timing.adjusted_energy_total / base.timing.energy.total
+        if metric == "traffic":
+            return run.timing.adjusted_bytes / base.timing.total_bytes
+        if metric == "amat":
+            return run.timing.amat_cycles / base.timing.amat_cycles
+        if metric == "mpki":
+            return run.timing.llc_mpki / base.timing.llc_mpki
+        raise ValueError(f"unknown metric {metric!r}")
+
+
+def _build_layout(workload: Workload, avr_run: WorkloadResult) -> AddressLayout:
+    """Timing-layer approximable ranges with measured block sizes.
+
+    Regions the architecture treats as approximable but that were not
+    functionally round-tripped (the LBM distribution arrays) get a
+    proxy size: the mean measured compressed size of the regions that
+    were (see ``Workload.timing_approx_regions``).
+    """
+    mem = avr_run.memory
+    names = workload.timing_approx_regions
+    if names is None:
+        names = tuple(n for n, r in mem.regions.items() if r.approx)
+
+    if workload.timing_proxy_ratio is not None:
+        proxy = max(1, int(round(BLOCK_CACHELINES / workload.timing_proxy_ratio)))
+    else:
+        measured = [
+            mem.regions[n].block_sizes
+            for n in names
+            if mem.regions[n].block_sizes is not None
+        ]
+        proxy = (
+            int(round(float(np.concatenate(measured).mean())))
+            if measured
+            else BLOCK_CACHELINES
+        )
+    layout = AddressLayout()
+    for name in names:
+        region = mem.regions[name]
+        sizes = region.block_sizes if region.block_sizes is not None else proxy
+        layout.add_region(region.base_addr, region.nbytes, sizes)
+    return layout
+
+
+def evaluate_workload(
+    name: str,
+    config: SystemConfig | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    designs: tuple[Design, ...] = ALL_DESIGNS,
+    max_accesses_per_core: int = 50_000,
+    **workload_kwargs,
+) -> WorkloadEvaluation:
+    """Run one workload through the functional and timing layers."""
+    config = config or SystemConfig.scaled(num_cores=8)
+    workload = make_workload(name, scale=scale, seed=seed, **workload_kwargs)
+
+    # --- functional layer ------------------------------------------------
+    reference = workload.run(Design.BASELINE)
+    functional: dict[Design, WorkloadResult] = {Design.BASELINE: reference}
+    for design in designs:
+        if design in (Design.BASELINE, Design.ZERO_AVR):
+            continue  # ZeroAVR approximates nothing: reuse the reference
+        functional[design] = workload.run(design)
+    avr_run = functional.get(Design.AVR) or workload.run(Design.AVR)
+
+    layout = _build_layout(workload, avr_run)
+    trace = generate_trace(
+        workload.trace_spec(),
+        reference.memory,
+        num_cores=config.num_cores,
+        max_accesses_per_core=max_accesses_per_core,
+        seed=seed,
+    )
+
+    evaluation = WorkloadEvaluation(
+        name=name,
+        baseline_iterations=reference.iterations,
+        footprint_bytes=reference.memory.footprint_bytes,
+        timing_approx_bytes=layout.approx_bytes,
+        avr_compression_ratio=layout.mean_compression_ratio(),
+    )
+
+    # --- timing layer -----------------------------------------------------
+    for design in designs:
+        func = functional.get(design, reference)
+        dedup = func.memory.dedup_factor() if design == Design.DGANGER else 1.0
+        system = build_system(
+            design, config, layout, evaluation.footprint_bytes, dedup
+        )
+        timing = system.run(trace)
+        timing.iteration_factor = func.iterations / max(reference.iterations, 1)
+        error = (
+            0.0
+            if design in (Design.BASELINE, Design.ZERO_AVR)
+            else workload.output_error(func, reference)
+        )
+        evaluation.runs[design] = DesignRun(
+            design=design,
+            output_error=error,
+            iterations=func.iterations,
+            compression_ratio=func.memory.compression_ratio(),
+            dedup_factor=dedup,
+            timing=timing,
+        )
+    return evaluation
+
+
+def evaluate_all(
+    names: tuple[str, ...] | None = None,
+    config: SystemConfig | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    designs: tuple[Design, ...] = ALL_DESIGNS,
+    max_accesses_per_core: int = 50_000,
+) -> dict[str, WorkloadEvaluation]:
+    """Evaluate every workload (paper order)."""
+    from ..workloads import WORKLOADS
+
+    names = names or tuple(WORKLOADS)
+    return {
+        name: evaluate_workload(
+            name,
+            config=config,
+            scale=scale,
+            seed=seed,
+            designs=designs,
+            max_accesses_per_core=max_accesses_per_core,
+        )
+        for name in names
+    }

@@ -1,0 +1,6 @@
+"""Main-memory substrate: DDR4 timing model + block-image backing store."""
+
+from .backing import BackingStore
+from .dram import DRAM
+
+__all__ = ["BackingStore", "DRAM"]

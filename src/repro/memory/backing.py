@@ -1,0 +1,177 @@
+"""Byte-addressable backing store holding AVR memory-block images.
+
+Models main memory *contents* (as opposed to :mod:`repro.memory.dram`,
+which models timing): each 1 KB block slot stores either the 16
+uncompressed cachelines (Fig. 2b) or a compressed image — summary,
+bitmap, outliers — followed by lazily-evicted uncompressed cachelines
+in the slot's free space (Fig. 2a).  Metadata (method, bias, size,
+lazy directory) lives beside it the way the CMT does in hardware.
+
+This substrate provides the byte-accurate end-to-end path used by the
+format tests and the `memory_image` example: values -> compress ->
+pack -> store -> fetch -> unpack -> decompress -> values, including
+lazy-line overlay on reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.constants import (
+    BLOCK_BYTES,
+    BLOCK_CACHELINES,
+    CACHELINE_BYTES,
+    VALUES_PER_BLOCK,
+    VALUES_PER_CACHELINE,
+)
+from ..common.types import CompressionMethod, DataType, ErrorThresholds
+from ..compression.block import CompressedBlock
+from ..compression.compressor import AVRCompressor
+
+
+@dataclass
+class _Slot:
+    """One 1 KB block slot plus its metadata."""
+
+    data: np.ndarray  # (1024,) uint8 image of the slot
+    method: CompressionMethod = CompressionMethod.UNCOMPRESSED
+    bias: int = 0
+    size_cachelines: int = BLOCK_CACHELINES
+    #: cacheline offsets of lazily evicted lines, in storage order —
+    #: entry i lives at slot cacheline ``size_cachelines + i``
+    lazy_lines: list[int] = field(default_factory=list)
+
+    @property
+    def compressed(self) -> bool:
+        return self.size_cachelines < BLOCK_CACHELINES
+
+    @property
+    def lazy_capacity(self) -> int:
+        return BLOCK_CACHELINES - self.size_cachelines if self.compressed else 0
+
+
+class BackingStore:
+    """Sparse physical memory at memory-block granularity."""
+
+    def __init__(
+        self,
+        compressor: AVRCompressor | None = None,
+        dtype: DataType = DataType.FLOAT32,
+    ) -> None:
+        self.compressor = compressor or AVRCompressor(ErrorThresholds())
+        self.dtype = dtype
+        self._slots: dict[int, _Slot] = {}
+
+    # ------------------------------------------------------------------
+    def _np_dtype(self):
+        return np.float32 if self.dtype == DataType.FLOAT32 else np.int32
+
+    def _slot(self, block_addr: int) -> _Slot:
+        if block_addr % BLOCK_BYTES:
+            raise ValueError(f"0x{block_addr:x} is not block aligned")
+        slot = self._slots.get(block_addr)
+        if slot is None:
+            slot = _Slot(data=np.zeros(BLOCK_BYTES, dtype=np.uint8))
+            self._slots[block_addr] = slot
+        return slot
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._slots)
+
+    def stored_cachelines(self, block_addr: int) -> int:
+        """Cachelines the block currently occupies (compressed + lazy)."""
+        slot = self._slots.get(block_addr)
+        if slot is None:
+            return 0
+        if not slot.compressed:
+            return BLOCK_CACHELINES
+        return slot.size_cachelines + len(slot.lazy_lines)
+
+    # ------------------------------------------------------------------
+    # whole-block operations
+    # ------------------------------------------------------------------
+    def write_block(self, block_addr: int, values: np.ndarray) -> bool:
+        """Compress-and-store one block of 256 values.
+
+        Returns True when the block was stored compressed.  A failed
+        compression stores the values verbatim (Fig. 2b).
+        """
+        values = np.asarray(values, dtype=self._np_dtype())
+        if values.shape != (VALUES_PER_BLOCK,):
+            raise ValueError(f"expected ({VALUES_PER_BLOCK},), got {values.shape}")
+        slot = self._slot(block_addr)
+        block, _recon = self.compressor.compress_block(values, self.dtype)
+        slot.lazy_lines.clear()
+        if block is None:
+            slot.method = CompressionMethod.UNCOMPRESSED
+            slot.bias = 0
+            slot.size_cachelines = BLOCK_CACHELINES
+            slot.data[:] = values.view(np.uint8)
+            return False
+        image = np.frombuffer(block.pack(), dtype=np.uint8)
+        slot.method = block.method
+        slot.bias = block.bias
+        slot.size_cachelines = block.size_cachelines
+        slot.data[: image.size] = image
+        slot.data[image.size :] = 0
+        return True
+
+    def read_block(self, block_addr: int) -> np.ndarray:
+        """Fetch, decompress and lazy-overlay one block -> 256 values."""
+        slot = self._slot(block_addr)
+        if not slot.compressed:
+            return slot.data.view(self._np_dtype()).copy()
+        block = CompressedBlock.unpack(
+            slot.data.tobytes(), slot.method, slot.bias, slot.size_cachelines
+        )
+        values = self.compressor.decompress_block(block, self.dtype)
+        # Lazily evicted lines override the decompressed content.
+        for i, line_off in enumerate(slot.lazy_lines):
+            src = (slot.size_cachelines + i) * CACHELINE_BYTES
+            raw = slot.data[src : src + CACHELINE_BYTES].view(self._np_dtype())
+            lo = line_off * VALUES_PER_CACHELINE
+            values[lo : lo + VALUES_PER_CACHELINE] = raw
+        return values
+
+    # ------------------------------------------------------------------
+    # cacheline operations (the lazy-eviction path)
+    # ------------------------------------------------------------------
+    def lazy_write_line(self, addr: int, values: np.ndarray) -> bool:
+        """Write one dirty uncompressed cacheline into the block's free
+        space (Fig. 2a).  Returns False when no space is left — the
+        caller must fall back to fetch + merge + recompress."""
+        values = np.asarray(values, dtype=self._np_dtype())
+        if values.shape != (VALUES_PER_CACHELINE,):
+            raise ValueError(f"expected ({VALUES_PER_CACHELINE},), got {values.shape}")
+        block_addr = addr & ~(BLOCK_BYTES - 1)
+        line_off = (addr % BLOCK_BYTES) // CACHELINE_BYTES
+        slot = self._slot(block_addr)
+        if not slot.compressed:
+            dst = line_off * CACHELINE_BYTES
+            slot.data[dst : dst + CACHELINE_BYTES] = values.view(np.uint8)
+            return True
+        if line_off in slot.lazy_lines:
+            i = slot.lazy_lines.index(line_off)
+        elif len(slot.lazy_lines) < slot.lazy_capacity:
+            slot.lazy_lines.append(line_off)
+            i = len(slot.lazy_lines) - 1
+        else:
+            return False
+        dst = (slot.size_cachelines + i) * CACHELINE_BYTES
+        slot.data[dst : dst + CACHELINE_BYTES] = values.view(np.uint8)
+        return True
+
+    def merge_and_recompress(self, addr: int, values: np.ndarray) -> bool:
+        """The lazy-space-exhausted path: fetch the block, overlay the
+        dirty line, recompress, store.  Returns compressed-or-not."""
+        block_addr = addr & ~(BLOCK_BYTES - 1)
+        line_off = (addr % BLOCK_BYTES) // CACHELINE_BYTES
+        merged = self.read_block(block_addr)
+        lo = line_off * VALUES_PER_CACHELINE
+        merged[lo : lo + VALUES_PER_CACHELINE] = np.asarray(
+            values, dtype=self._np_dtype()
+        )
+        return self.write_block(block_addr, merged)

@@ -1,0 +1,85 @@
+"""Event-level DDR4 main-memory model.
+
+Stands in for DRAMSim2: models channel interleaving, per-bank open-row
+state (row-buffer hits vs misses) and per-channel busy time, and
+accounts every byte of traffic.  Queueing is abstracted into the
+row-hit/miss latencies; sustained-bandwidth limits surface through the
+channel busy-time counters, which the interval core model uses as the
+bandwidth-bound execution time.
+"""
+
+from __future__ import annotations
+
+from ..common.config import DRAMConfig
+from ..common.stats import StatCounter
+
+
+class DRAM:
+    """DDR4 with open-page policy and channel-interleaved lines."""
+
+    def __init__(self, config: DRAMConfig, line_bytes: int = 64) -> None:
+        self.config = config
+        self.line_bytes = line_bytes
+        self._line_shift = line_bytes.bit_length() - 1
+        self._row_lines = max(1, config.row_bytes // line_bytes)
+        # open row per (channel, bank)
+        self._open_rows: dict[tuple[int, int], int] = {}
+        self.stats = StatCounter()
+        #: per-channel busy cycles (burst occupancy)
+        self.channel_busy = [0] * config.channels
+
+    def _map(self, line_addr: int) -> tuple[int, int, int]:
+        """line address -> (channel, bank, row)."""
+        channel = line_addr % self.config.channels
+        within = line_addr // self.config.channels
+        row = within // self._row_lines
+        bank = row % self.config.banks_per_channel
+        return channel, bank, row
+
+    def access(self, addr: int, lines: int = 1, write: bool = False) -> int:
+        """Transfer ``lines`` consecutive cachelines starting at ``addr``.
+
+        Returns the latency in core cycles of the critical (first)
+        line; subsequent lines of a block stream behind it pipelined at
+        burst rate.  Busy time and traffic are fully accounted.
+        """
+        if lines < 1:
+            raise ValueError("lines must be >= 1")
+        cfg = self.config
+        first_line = addr >> self._line_shift
+        latency = 0
+        for i in range(lines):
+            channel, bank, row = self._map(first_line + i)
+            key = (channel, bank)
+            if self._open_rows.get(key) == row:
+                line_latency = cfg.row_hit_cycles
+                self.stats.add("row_hits")
+            else:
+                line_latency = cfg.row_miss_cycles
+                self._open_rows[key] = row
+                self.stats.add("row_misses")
+            if i == 0:
+                latency = line_latency
+            self.channel_busy[channel] += cfg.burst_cycles
+        nbytes = lines * self.line_bytes
+        self.stats.add("bytes_written" if write else "bytes_read", nbytes)
+        self.stats.add("accesses")
+        if not write:
+            latency += cfg.burst_cycles  # critical-line transfer time
+        return latency + (lines - 1) * cfg.burst_cycles // 2
+
+    def transfer_partial(self, nbytes: int, write: bool) -> None:
+        """Account sub-line traffic (e.g. CMT metadata updates)."""
+        self.stats.add("bytes_written" if write else "bytes_read", nbytes)
+        channel = self.stats.get("accesses", 0) % self.config.channels
+        self.channel_busy[int(channel)] += max(
+            1, self.config.burst_cycles * nbytes // self.line_bytes
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.stats["bytes_read"] + self.stats["bytes_written"])
+
+    def bandwidth_bound_cycles(self) -> int:
+        """Execution-time lower bound imposed by channel occupancy."""
+        return max(self.channel_busy) if self.channel_busy else 0

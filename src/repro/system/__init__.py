@@ -1,0 +1,7 @@
+"""Full-system timing simulation of the five design points."""
+
+from .factory import build_system
+from .layout import AddressLayout
+from .simulator import SimResult, TimingSystem
+
+__all__ = ["AddressLayout", "SimResult", "TimingSystem", "build_system"]

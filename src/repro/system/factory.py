@@ -1,0 +1,81 @@
+"""Construction of the five evaluated design points."""
+
+from __future__ import annotations
+
+from ..cache.llc_avr import AVRLLC
+from ..cache.llc_baseline import BaselineLLC
+from ..common.config import SystemConfig
+from ..common.constants import BLOCK_CACHELINES
+from ..common.types import Design
+from ..memory.dram import DRAM
+from .layout import AddressLayout
+from .simulator import TimingSystem
+
+
+def build_system(
+    design: Design,
+    config: SystemConfig,
+    layout: AddressLayout,
+    footprint_bytes: int,
+    dedup_factor: float = 1.0,
+    avr_options: dict | None = None,
+) -> TimingSystem:
+    """Wire up DRAM + the design's LLC into a runnable timing system.
+
+    ``layout`` carries the approximable ranges and measured block sizes;
+    ``footprint_bytes`` the total workload footprint (to estimate the
+    fraction of LLC-resident data that is approximate for the capacity
+    models); ``dedup_factor`` the functional layer's measured
+    Doppelgänger dedup; ``avr_options`` forwards ablation flags to
+    :class:`~repro.cache.llc_avr.AVRLLC` (AVR/ZeroAVR only).
+    """
+    dram = DRAM(config.dram, line_bytes=config.llc.line_bytes)
+    approx_frac = (
+        min(1.0, layout.approx_bytes / footprint_bytes) if footprint_bytes else 0.0
+    )
+
+    if design == Design.BASELINE:
+        llc = BaselineLLC(config.llc, dram)
+    elif design == Design.TRUNCATE:
+        # Approximate lines stored/transferred at half width: capacity
+        # stretches by the approximate share, the link moves 32 B lines.
+        capacity = 1.0 / (1.0 - approx_frac / 2.0)
+        llc = BaselineLLC(
+            config.llc,
+            dram,
+            is_approx=layout.is_approx,
+            capacity_multiplier=capacity,
+            approx_line_bytes=32,
+        )
+    elif design == Design.DGANGER:
+        # Dedup shares data entries between similar lines; reach is
+        # bounded by the 4x tag array.
+        effective = min(max(dedup_factor, 1.0), float(config.dganger_tag_factor))
+        capacity = 1.0 / (1.0 - approx_frac * (1.0 - 1.0 / effective))
+        llc = BaselineLLC(
+            config.llc,
+            dram,
+            is_approx=layout.is_approx,
+            capacity_multiplier=capacity,
+        )
+    elif design == Design.ZERO_AVR:
+        # AVR machinery present, nothing marked approximable.
+        llc = AVRLLC(
+            config.llc,
+            dram,
+            block_size_of=lambda addr: BLOCK_CACHELINES,
+            is_approx=lambda addr: False,
+            **(avr_options or {}),
+        )
+    elif design == Design.AVR:
+        llc = AVRLLC(
+            config.llc,
+            dram,
+            block_size_of=layout.block_size_of,
+            is_approx=layout.is_approx,
+            **(avr_options or {}),
+        )
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown design {design}")
+
+    return TimingSystem(design, config, llc, dram)

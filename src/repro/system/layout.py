@@ -1,0 +1,74 @@
+"""Address-space view shared by the timing simulators.
+
+Maps physical addresses to (a) whether they belong to an
+architecturally-approximable region and (b) the static compressed size
+of their 1 KB block, as measured by the functional layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.constants import BLOCK_BYTES, BLOCK_CACHELINES
+
+
+@dataclass
+class _Range:
+    start: int
+    end: int
+    sizes: np.ndarray | int  # per-block sizes, or one constant size
+
+
+@dataclass
+class AddressLayout:
+    """Approximable ranges + per-block compressed sizes."""
+
+    ranges: list[_Range] = field(default_factory=list)
+
+    def add_region(
+        self, start: int, nbytes: int, sizes: np.ndarray | int
+    ) -> None:
+        end = start + (-(-nbytes // BLOCK_BYTES)) * BLOCK_BYTES
+        if isinstance(sizes, np.ndarray):
+            expected = (end - start) // BLOCK_BYTES
+            if sizes.size < expected:
+                # Pad with the median size (regions measured at a
+                # different granularity than their padded extent).
+                fill = int(np.median(sizes)) if sizes.size else BLOCK_CACHELINES
+                sizes = np.concatenate(
+                    [sizes, np.full(expected - sizes.size, fill, dtype=sizes.dtype)]
+                )
+        self.ranges.append(_Range(start, end, sizes))
+
+    def is_approx(self, addr: int) -> bool:
+        for r in self.ranges:
+            if r.start <= addr < r.end:
+                return True
+        return False
+
+    def block_size_of(self, block_addr: int) -> int:
+        """Compressed size (cachelines) of the block at ``block_addr``."""
+        for r in self.ranges:
+            if r.start <= block_addr < r.end:
+                if isinstance(r.sizes, np.ndarray):
+                    return int(r.sizes[(block_addr - r.start) // BLOCK_BYTES])
+                return int(r.sizes)
+        return BLOCK_CACHELINES
+
+    @property
+    def approx_bytes(self) -> int:
+        return sum(r.end - r.start for r in self.ranges)
+
+    def mean_compression_ratio(self) -> float:
+        """Average ratio over the approximable ranges."""
+        blocks = stored = 0
+        for r in self.ranges:
+            n = (r.end - r.start) // BLOCK_BYTES
+            blocks += n
+            if isinstance(r.sizes, np.ndarray):
+                stored += int(r.sizes.sum())
+            else:
+                stored += n * int(r.sizes)
+        return blocks * BLOCK_CACHELINES / stored if stored else 1.0

@@ -1,0 +1,13 @@
+"""Synthetic memory-trace generation for the timing layer."""
+
+from .events import TRACE_DTYPE, concat_traces, make_trace, total_instructions
+from .generator import GeneratedTrace, generate_trace
+
+__all__ = [
+    "GeneratedTrace",
+    "TRACE_DTYPE",
+    "concat_traces",
+    "generate_trace",
+    "make_trace",
+    "total_instructions",
+]

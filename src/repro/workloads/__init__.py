@@ -1,0 +1,49 @@
+"""The seven evaluation applications (paper Table 2)."""
+
+from .base import Phase, TraceSpec, Workload, WorkloadResult
+from .blackscholes import BlackScholesWorkload
+from .heat import HeatWorkload
+from .kmeans import KMeansWorkload
+from .lattice import LatticeWorkload
+from .lbm import LbmWorkload
+from .orbit import OrbitWorkload
+from .wrf import WrfWorkload
+
+#: Registry in the paper's presentation order.
+WORKLOADS: dict[str, type[Workload]] = {
+    "heat": HeatWorkload,
+    "lattice": LatticeWorkload,
+    "lbm": LbmWorkload,
+    "orbit": OrbitWorkload,
+    "kmeans": KMeansWorkload,
+    "bscholes": BlackScholesWorkload,
+    "wrf": WrfWorkload,
+}
+
+
+def make_workload(name: str, scale: float = 1.0, seed: int = 0, **kwargs) -> Workload:
+    """Instantiate a workload by its paper name."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+    return cls(scale=scale, seed=seed, **kwargs)
+
+
+__all__ = [
+    "BlackScholesWorkload",
+    "HeatWorkload",
+    "KMeansWorkload",
+    "LatticeWorkload",
+    "LbmWorkload",
+    "OrbitWorkload",
+    "Phase",
+    "TraceSpec",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadResult",
+    "WrfWorkload",
+    "make_workload",
+]

@@ -1,0 +1,160 @@
+"""Synthetic input-data generators for the workloads.
+
+The paper uses external inputs we cannot redistribute (a car-silhouette
+raster for *lattice*, Lantmäteriet topographic elevations for
+*k-means*, SPEC reference inputs for *lbm*/*wrf*).  These generators
+produce inputs with the same structural properties — the properties the
+evaluation actually depends on: value smoothness (compressibility),
+dynamic range, and spatial ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def car_silhouette(ny: int, nx: int) -> np.ndarray:
+    """Boolean obstacle mask shaped like a car side profile.
+
+    Body + cabin + two wheels, placed in the left-center of the domain
+    the way the paper's lattice benchmark places its silhouette input.
+    Returns ``(ny, nx)`` with True inside the solid.
+    """
+    if ny < 16 or nx < 32:
+        raise ValueError(f"domain too small for a car: {(ny, nx)}")
+    mask = np.zeros((ny, nx), dtype=bool)
+    y = np.arange(ny)[:, None]
+    x = np.arange(nx)[None, :]
+
+    # Dimensions relative to the domain (car sits on the bottom wall).
+    length = int(nx * 0.25)
+    x0 = int(nx * 0.2)
+    ground = int(ny * 0.15)
+    body_h = int(ny * 0.12)
+    cabin_h = int(ny * 0.10)
+    wheel_r = max(2, int(ny * 0.06))
+
+    body = (
+        (x >= x0) & (x < x0 + length)
+        & (y >= ground + wheel_r) & (y < ground + wheel_r + body_h)
+    )
+    cabin_x0 = x0 + int(length * 0.3)
+    cabin_x1 = x0 + int(length * 0.75)
+    cabin = (
+        (x >= cabin_x0) & (x < cabin_x1)
+        & (y >= ground + wheel_r + body_h)
+        & (y < ground + wheel_r + body_h + cabin_h)
+    )
+    wheel_y = ground + wheel_r // 2
+    for wx in (x0 + int(length * 0.2), x0 + int(length * 0.8)):
+        wheel = (x - wx) ** 2 + (y - wheel_y) ** 2 <= wheel_r**2
+        mask |= wheel
+    mask |= body | cabin
+    return mask
+
+
+def sphere_mask(nz: int, ny: int, nx: int, radius_frac: float = 0.15) -> np.ndarray:
+    """Boolean mask of a solid sphere for the 3D lbm benchmark."""
+    z = np.arange(nz)[:, None, None]
+    y = np.arange(ny)[None, :, None]
+    x = np.arange(nx)[None, None, :]
+    cz, cy, cx = nz / 2.0, ny / 2.0, nx * 0.3
+    r = radius_frac * min(nz, ny)
+    return (z - cz) ** 2 + (y - cy) ** 2 + (x - cx) ** 2 <= r**2
+
+
+def fractal_terrain(
+    n: int, roughness: float = 0.55, rng: np.random.Generator | None = None,
+    base: float = 300.0, relief: float = 400.0,
+) -> np.ndarray:
+    """1D fractal elevation profile (midpoint displacement).
+
+    Stands in for the Swedish topographic survey data used by the
+    k-means benchmark: geographically ordered elevations with
+    self-similar roughness.  ``roughness`` in (0, 1); higher = rougher
+    (lower compressibility).  Returns float32 metres, length ``n``.
+    """
+    rng = rng or np.random.default_rng(0)
+    levels = int(np.ceil(np.log2(max(2, n))))
+    size = (1 << levels) + 1
+    terrain = np.zeros(size, dtype=np.float64)
+    terrain[0] = rng.uniform(0.3, 0.7)
+    terrain[-1] = rng.uniform(0.3, 0.7)
+    amplitude = 0.5
+    step = size - 1
+    while step > 1:
+        half = step // 2
+        idx = np.arange(half, size - 1, step)
+        terrain[idx] = 0.5 * (terrain[idx - half] + terrain[idx + half])
+        terrain[idx] += rng.normal(0.0, amplitude, idx.size)
+        amplitude *= roughness
+        step = half
+    profile = terrain[:n]
+    lo, hi = profile.min(), profile.max()
+    span = hi - lo if hi > lo else 1.0
+    return (base + relief * (profile - lo) / span).astype(np.float32)
+
+
+def smooth_field_2d(
+    ny: int, nx: int, rng: np.random.Generator, octaves: int = 4,
+    roughness: float = 0.5,
+) -> np.ndarray:
+    """Smooth random 2D field in [0, 1] built from upsampled noise octaves."""
+    field = np.zeros((ny, nx), dtype=np.float64)
+    amplitude = 1.0
+    for octave in range(octaves):
+        cells = 2 ** (octave + 2)
+        coarse = rng.normal(0.0, 1.0, (min(cells, ny), min(cells, nx)))
+        field += amplitude * _bilinear_upsample(coarse, ny, nx)
+        amplitude *= roughness
+    lo, hi = field.min(), field.max()
+    span = hi - lo if hi > lo else 1.0
+    return ((field - lo) / span).astype(np.float32)
+
+
+def _bilinear_upsample(coarse: np.ndarray, ny: int, nx: int) -> np.ndarray:
+    """Bilinear resize of a small grid to (ny, nx)."""
+    cy, cx = coarse.shape
+    yi = np.linspace(0, cy - 1, ny)
+    xi = np.linspace(0, cx - 1, nx)
+    y0 = np.clip(yi.astype(int), 0, cy - 2)
+    x0 = np.clip(xi.astype(int), 0, cx - 2)
+    wy = (yi - y0)[:, None]
+    wx = (xi - x0)[None, :]
+    tl = coarse[y0][:, x0]
+    tr = coarse[y0][:, x0 + 1]
+    bl = coarse[y0 + 1][:, x0]
+    br = coarse[y0 + 1][:, x0 + 1]
+    return (tl * (1 - wy) + bl * wy) * (1 - wx) + (tr * (1 - wy) + br * wy) * wx
+
+
+def clustered_option_values(
+    n: int, distinct: int, low: float, high: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Option-parameter array where many entries share identical values.
+
+    The paper notes blackscholes inputs repeat field values across
+    entries (which Doppelgänger exploits); this draws each entry from a
+    small set of distinct levels.
+    """
+    levels = np.sort(rng.uniform(low, high, distinct)).astype(np.float32)
+    return levels[rng.integers(0, distinct, n)]
+
+
+def chained_strikes(
+    n: int, low: float, high: float, rng: np.random.Generator,
+    mean_run: int = 32,
+) -> np.ndarray:
+    """Strike prices organized in option chains: runs share one strike.
+
+    Run lengths are geometric with mean ``mean_run``, so a cacheline
+    usually holds a single repeated strike (dedup-friendly) while a
+    memory block sees a handful of level jumps.
+    """
+    out = np.empty(n, dtype=np.float32)
+    pos = 0
+    while pos < n:
+        run = 1 + int(rng.geometric(1.0 / mean_run))
+        out[pos : pos + run] = np.float32(rng.uniform(low, high))
+        pos += run
+    return out

@@ -1,0 +1,119 @@
+"""lattice — 2D Lattice-Boltzmann (D2Q9) air flow over a car silhouette [7].
+
+A minimal entropic-style BGK lattice-Boltzmann method on a D2Q9
+lattice, with an inflow at the left boundary, outflow at the right, and
+half-way bounce-back on a solid car-shaped obstacle.  The approximable
+data are the particle distribution functions and the macroscopic
+fields ("P and M"), and the output is velocity + pressure, as in
+Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..approx.memory import ApproxMemory
+from ..common.types import ErrorThresholds
+from .base import Phase, TraceSpec, Workload
+from .data import car_silhouette
+
+# D2Q9 lattice: rest, 4 axis-aligned, 4 diagonal directions.
+_EX = np.array([0, 1, 0, -1, 0, 1, -1, -1, 1])
+_EY = np.array([0, 0, 1, 0, -1, 1, 1, -1, -1])
+_W = np.array([4 / 9] + [1 / 9] * 4 + [1 / 36] * 4)
+_OPPOSITE = np.array([0, 3, 4, 1, 2, 7, 8, 5, 6])
+
+
+def equilibrium(rho: np.ndarray, ux: np.ndarray, uy: np.ndarray) -> np.ndarray:
+    """D2Q9 second-order equilibrium distribution, shape (9, ny, nx)."""
+    eu = _EX[:, None, None] * ux[None] + _EY[:, None, None] * uy[None]
+    usq = ux**2 + uy**2
+    return (
+        _W[:, None, None]
+        * rho[None]
+        * (1.0 + 3.0 * eu + 4.5 * eu**2 - 1.5 * usq[None])
+    ).astype(np.float32)
+
+
+class LatticeWorkload(Workload):
+    name = "lattice"
+    description = "2D Lattice-Boltzmann air flow over a solid car silhouette"
+    approx_data = "P and M"
+    output_data = "Vel.+Pr."
+    # Macroscopic fields take the functional round-trip; the distribution
+    # functions are architecture-approximable (timing view) only — see
+    # Workload.timing_approx_regions.
+    timing_approx_regions = ("f", "macro")
+    timing_proxy_ratio = 9.6  # paper Table 4
+    default_thresholds = ErrorThresholds.from_t2(0.01)
+    dganger_threshold = 0.0005
+
+    U_INFLOW = 0.05
+    OMEGA = 1.2
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, steps: int = 150) -> None:
+        super().__init__(scale, seed)
+        self.ny = self._scaled(192, minimum=24, quantum=8)
+        # nx >= 256 keeps a 256-value block inside one grid row
+        self.nx = self._scaled(512, minimum=64, quantum=8)
+        self.steps = steps
+        self.mask = car_silhouette(self.ny, self.nx)
+
+    def allocate(self, mem: ApproxMemory) -> None:
+        ny, nx = self.ny, self.nx
+        rho0 = np.ones((ny, nx), dtype=np.float32)
+        ux0 = np.full((ny, nx), self.U_INFLOW, dtype=np.float32)
+        uy0 = np.zeros((ny, nx), dtype=np.float32)
+        f0 = equilibrium(rho0, ux0, uy0)
+        mem.alloc("f", (9, ny, nx), approx=False, init=f0)
+        macro0 = np.stack([rho0, ux0, uy0])
+        mem.alloc("macro", (3, ny, nx), approx=True, init=macro0)
+
+    def execute(self, mem: ApproxMemory) -> tuple[np.ndarray, int]:
+        f = mem.region("f").array
+        macro = mem.region("macro").array
+        mask = self.mask
+        for _ in range(self.steps):
+            rho = f.sum(axis=0)
+            inv_rho = 1.0 / np.maximum(rho, 1e-6)
+            ux = (f * _EX[:, None, None]).sum(axis=0) * inv_rho
+            uy = (f * _EY[:, None, None]).sum(axis=0) * inv_rho
+
+            # Inflow: fixed velocity at the left column (equilibrium refill).
+            ux[:, 0] = self.U_INFLOW
+            uy[:, 0] = 0.0
+            rho[:, 0] = 1.0
+
+            feq = equilibrium(rho, ux, uy)
+            f += self.OMEGA * (feq - f)
+
+            # Half-way bounce-back on the obstacle.
+            f[:, mask] = f[_OPPOSITE][:, mask]
+
+            # Streaming (periodic wrap vertically; open horizontally).
+            for i in range(1, 9):
+                f[i] = np.roll(f[i], (int(_EY[i]), int(_EX[i])), axis=(0, 1))
+            f[:, :, 0] = equilibrium(
+                np.ones(self.ny, dtype=np.float32)[:, None],
+                np.full((self.ny, 1), self.U_INFLOW, dtype=np.float32),
+                np.zeros((self.ny, 1), dtype=np.float32),
+            )[:, :, 0]
+            f[:, :, -1] = f[:, :, -2]  # zero-gradient outflow
+
+            macro[0], macro[1], macro[2] = rho, ux, uy
+            mem.sync(["f", "macro"])
+
+        speed = np.sqrt(macro[1] ** 2 + macro[2] ** 2)
+        pressure = macro[0] / 3.0
+        return np.stack([speed, pressure]), self.steps
+
+    def trace_spec(self) -> TraceSpec:
+        # Per step: the distributions are read and rewritten (collide +
+        # stream), macroscopic fields are computed and written.
+        return TraceSpec(
+            iterations=self.steps,
+            phases=(
+                Phase("f", reads=True, writes=True, gap=150),
+                Phase("macro", reads=False, writes=True, gap=150),
+            ),
+        )

@@ -1,0 +1,109 @@
+"""orbit — 3D two-particle orbit problem (FLASH) [10].
+
+Integrates the bound orbit of two gravitating particles with a leapfrog
+scheme, logging the full phase-space history ("Phys. data") into large
+approximable arrays — half the footprint, the other half being the
+exact solver state.  Trajectories are smooth in time, so the history
+arrays compress almost perfectly (the paper reports 16.0:1); the output
+is the logged physics data itself.
+
+Coordinates oscillate across zero with a span of the orbit diameter,
+which is exactly the regime where Doppelgänger's span-relative
+deduplication produces runaway (>100 %) error in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..approx.memory import ApproxMemory
+from .base import Phase, TraceSpec, Workload
+
+#: gravitational constant in simulation units
+G = 1.0
+#: particle masses
+M1, M2 = 1.0, 1.0
+
+
+class OrbitWorkload(Workload):
+    name = "orbit"
+    description = "3D simulation of the two-particle orbit problem"
+    approx_data = "Phys. data"
+    output_data = "Phys. data"
+    # Orbit coordinates sweep the full span and cross zero; at the
+    # span-relative hash granularity Doppelgänger was configured with,
+    # aliasing produces the paper's runaway (>100%) error.
+    dganger_threshold = 0.03
+
+    #: steps between history flushes to memory (one sync per chunk)
+    CHUNK = 2048
+
+    def __init__(self, scale: float = 1.0, seed: int = 0, steps: int = 32768) -> None:
+        super().__init__(scale, seed)
+        self.steps = self._scaled(steps, minimum=4096, quantum=self.CHUNK)
+        self.dt = 2e-3
+
+    def allocate(self, mem: ApproxMemory) -> None:
+        # Coordinate-major layout: each row is one coordinate's time
+        # series (x1 y1 z1 x2 y2 z2), so consecutive values are smooth.
+        mem.alloc("pos_history", (6, self.steps), approx=True)
+        mem.alloc("vel_history", (6, self.steps), approx=True)
+        # Exact half of the footprint: solver state and diagnostics.
+        mem.alloc("energy_log", (2, self.steps), approx=False)
+        mem.alloc("angmom_log", (6, self.steps), approx=False)
+        mem.alloc("work", (4, self.steps), approx=False)
+
+    def execute(self, mem: ApproxMemory) -> tuple[np.ndarray, int]:
+        pos_h = mem.region("pos_history").array
+        vel_h = mem.region("vel_history").array
+        energy = mem.region("energy_log").array
+
+        # Mildly eccentric bound orbit in the xy plane, slight z wobble.
+        r1 = np.array([0.5, 0.0, 0.02])
+        r2 = np.array([-0.5, 0.0, -0.02])
+        v_circ = np.sqrt(G * (M1 + M2) / np.linalg.norm(r1 - r2)) / 2.0
+        v1 = np.array([0.0, 0.9 * v_circ, 0.0])
+        v2 = np.array([0.0, -0.9 * v_circ, 0.0])
+
+        def accel(r1: np.ndarray, r2: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            d = r2 - r1
+            dist3 = np.linalg.norm(d) ** 3
+            return G * M2 * d / dist3, -G * M1 * d / dist3
+
+        a1, a2 = accel(r1, r2)
+        for step in range(self.steps):
+            v1 += 0.5 * self.dt * a1
+            v2 += 0.5 * self.dt * a2
+            r1 += self.dt * v1
+            r2 += self.dt * v2
+            a1, a2 = accel(r1, r2)
+            v1 += 0.5 * self.dt * a1
+            v2 += 0.5 * self.dt * a2
+
+            pos_h[:3, step] = r1
+            pos_h[3:, step] = r2
+            vel_h[:3, step] = v1
+            vel_h[3:, step] = v2
+            kinetic = 0.5 * (M1 * (v1**2).sum() + M2 * (v2**2).sum())
+            potential = -G * M1 * M2 / np.linalg.norm(r1 - r2)
+            energy[:, step] = (kinetic, potential)
+
+            if (step + 1) % self.CHUNK == 0:
+                # The filled chunk streams out to main memory.
+                mem.sync(["pos_history", "vel_history"])
+
+        output = np.concatenate([pos_h.ravel(), vel_h.ravel()])
+        return output, self.steps
+
+    def trace_spec(self) -> TraceSpec:
+        # History logging is a pure streaming-write pattern; the exact
+        # logs stream alongside.  One "iteration" = one chunk.
+        return TraceSpec(
+            iterations=self.steps // self.CHUNK,
+            phases=(
+                Phase("pos_history", reads=False, writes=True, gap=320, rolling=True),
+                Phase("vel_history", reads=False, writes=True, gap=320, rolling=True),
+                Phase("energy_log", reads=False, writes=True, gap=320, rolling=True),
+                Phase("angmom_log", reads=False, writes=True, gap=320, rolling=True),
+            ),
+        )

@@ -1,0 +1,34 @@
+"""Shared test fixtures and hypothesis configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def smooth_blocks(rng) -> np.ndarray:
+    """Highly compressible float32 blocks: scaled linear ramps."""
+    x = np.linspace(0.0, 1.0, 256, dtype=np.float32)
+    scales = rng.uniform(0.5, 2.0, (32, 1)).astype(np.float32)
+    return x[None, :] * scales + 1.0
+
+
+@pytest.fixture
+def noisy_blocks(rng) -> np.ndarray:
+    """Incompressible float32 blocks: white noise."""
+    return rng.normal(0.0, 1.0, (32, 256)).astype(np.float32)

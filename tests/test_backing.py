@@ -1,0 +1,124 @@
+"""Tests for the byte-accurate backing store."""
+
+import numpy as np
+import pytest
+
+from repro.common.constants import BLOCK_BYTES, BLOCK_CACHELINES, VALUES_PER_BLOCK
+from repro.common.types import DataType, ErrorThresholds
+from repro.compression import AVRCompressor
+from repro.memory import BackingStore
+
+
+@pytest.fixture
+def store():
+    return BackingStore(AVRCompressor(ErrorThresholds(0.02, 0.01)))
+
+
+def smooth_block(seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 1, VALUES_PER_BLOCK, dtype=np.float32)
+    return x * np.float32(rng.uniform(0.5, 2)) + 1.0
+
+
+class TestWholeBlocks:
+    def test_roundtrip_within_threshold(self, store):
+        values = smooth_block()
+        assert store.write_block(0, values)  # compressed
+        out = store.read_block(0)
+        assert np.allclose(out, values, rtol=0.05)
+
+    def test_roundtrip_bit_exact_vs_compressor(self, store):
+        """The store reproduces exactly what the compressor pipeline
+        says a consumer should read back."""
+        values = smooth_block(3)
+        _, recon = store.compressor.compress_block(values)
+        store.write_block(0, values)
+        assert np.array_equal(store.read_block(0), recon)
+
+    def test_incompressible_stored_verbatim(self, store):
+        noise = np.random.default_rng(1).normal(0, 1, VALUES_PER_BLOCK).astype(np.float32)
+        assert not store.write_block(0, noise)
+        assert np.array_equal(store.read_block(0), noise)
+        assert store.stored_cachelines(0) == BLOCK_CACHELINES
+
+    def test_compressed_occupancy(self, store):
+        store.write_block(0, np.full(VALUES_PER_BLOCK, 2.5, dtype=np.float32))
+        assert store.stored_cachelines(0) == 1
+
+    def test_unaligned_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.write_block(100, smooth_block())
+
+    def test_wrong_shape_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.write_block(0, np.zeros(100, dtype=np.float32))
+
+    def test_independent_blocks(self, store):
+        a, b = smooth_block(1), smooth_block(2)
+        store.write_block(0, a)
+        store.write_block(BLOCK_BYTES, b)
+        assert store.num_blocks == 2
+        assert np.allclose(store.read_block(0), a, rtol=0.05)
+        assert np.allclose(store.read_block(BLOCK_BYTES), b, rtol=0.05)
+
+
+class TestLazyLines:
+    def test_lazy_line_overlays_on_read(self, store):
+        values = smooth_block()
+        store.write_block(0, values)
+        new_line = np.full(16, 42.0, dtype=np.float32)
+        assert store.lazy_write_line(5 * 64, new_line)
+        out = store.read_block(0)
+        assert np.array_equal(out[5 * 16 : 6 * 16], new_line)
+        # other lines unaffected
+        assert np.allclose(out[:16], values[:16], rtol=0.05)
+
+    def test_lazy_occupancy_grows(self, store):
+        store.write_block(0, np.full(VALUES_PER_BLOCK, 1.0, dtype=np.float32))
+        base = store.stored_cachelines(0)
+        store.lazy_write_line(0, np.zeros(16, dtype=np.float32))
+        assert store.stored_cachelines(0) == base + 1
+
+    def test_rewriting_same_line_reuses_slot(self, store):
+        store.write_block(0, np.full(VALUES_PER_BLOCK, 1.0, dtype=np.float32))
+        store.lazy_write_line(0, np.full(16, 2.0, dtype=np.float32))
+        store.lazy_write_line(0, np.full(16, 3.0, dtype=np.float32))
+        assert store.stored_cachelines(0) == 2
+        assert store.read_block(0)[0] == 3.0
+
+    def test_lazy_space_exhaustion(self, store):
+        # a constant block compresses to 1 CL -> 15 lazy slots
+        store.write_block(0, np.full(VALUES_PER_BLOCK, 1.0, dtype=np.float32))
+        for i in range(15):
+            assert store.lazy_write_line(i * 64, np.full(16, float(i), np.float32))
+        assert not store.lazy_write_line(15 * 64, np.zeros(16, np.float32))
+
+    def test_merge_and_recompress_after_exhaustion(self, store):
+        store.write_block(0, np.full(VALUES_PER_BLOCK, 1.0, dtype=np.float32))
+        for i in range(15):
+            store.lazy_write_line(i * 64, np.full(16, 1.01, np.float32))
+        line = np.full(16, 1.02, dtype=np.float32)
+        assert store.merge_and_recompress(15 * 64, line)
+        out = store.read_block(0)
+        assert np.allclose(out[15 * 16 :], 1.02, rtol=0.05)
+        assert np.allclose(out[: 15 * 16], 1.01, rtol=0.05)
+        # lazy slots were folded back in
+        assert store.stored_cachelines(0) <= 2
+
+    def test_lazy_into_uncompressed_block_writes_in_place(self, store):
+        noise = np.random.default_rng(2).normal(0, 1, VALUES_PER_BLOCK).astype(np.float32)
+        store.write_block(0, noise)
+        line = np.full(16, 7.0, dtype=np.float32)
+        assert store.lazy_write_line(3 * 64, line)
+        assert np.array_equal(store.read_block(0)[3 * 16 : 4 * 16], line)
+
+
+class TestFixedPoint:
+    def test_fixed32_roundtrip(self):
+        store = BackingStore(dtype=DataType.FIXED32)
+        values = (np.arange(VALUES_PER_BLOCK, dtype=np.int32) * 100) + 100_000
+        store.write_block(0, values)
+        out = store.read_block(0)
+        assert out.dtype == np.int32
+        rel = np.abs(out.astype(np.float64) - values) / values
+        assert rel.max() < 0.05

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_overheads_command(capsys):
+    assert main(["overheads"]) == 0
+    out = capsys.readouterr().out
+    assert "93" in out
+    assert "18" in out
+
+
+def test_workload_command_small(capsys):
+    code = main([
+        "workload", "heat",
+        "--scale", "0.15", "--cores", "2", "--accesses", "5000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "AVR ratio" in out
+    for design in ("dganger", "truncate", "ZeroAVR", "AVR"):
+        assert design in out
+
+
+def test_evaluate_subset(capsys):
+    code = main([
+        "evaluate", "--workloads", "heat",
+        "--scale", "0.15", "--cores", "2", "--accesses", "5000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out and "Figure 13" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["workload", "nope"])

@@ -1,0 +1,75 @@
+"""Tests for the decompressed block buffer and prefetch engine."""
+
+from repro.cache.dbuf import DBUF, PFE_THRESHOLD
+from repro.common.constants import BLOCK_BYTES, BLOCK_CACHELINES, CACHELINE_BYTES
+
+
+def test_empty_buffer_serves_nothing():
+    d = DBUF()
+    assert not d.serve(0)
+    assert not d.holds(0)
+
+
+def test_load_then_serve_same_block():
+    d = DBUF()
+    d.load(BLOCK_BYTES, requested_line=0)
+    assert d.holds(BLOCK_BYTES + 5 * CACHELINE_BYTES)
+    assert d.serve(BLOCK_BYTES + 5 * CACHELINE_BYTES)
+    assert d.hits == 1
+
+
+def test_other_block_not_served():
+    d = DBUF()
+    d.load(BLOCK_BYTES, 0)
+    assert not d.serve(2 * BLOCK_BYTES)
+
+
+def test_pfe_below_threshold_no_prefetch():
+    d = DBUF()
+    d.load(BLOCK_BYTES, 0)
+    for i in range(PFE_THRESHOLD - 2):  # stay below threshold
+        d.serve(BLOCK_BYTES + (i + 1) * CACHELINE_BYTES)
+    prefetch = d.load(2 * BLOCK_BYTES, 0)
+    assert prefetch == []
+
+
+def test_pfe_at_threshold_prefetches_rest():
+    d = DBUF()
+    d.load(BLOCK_BYTES, 0)
+    for i in range(1, PFE_THRESHOLD):
+        d.serve(BLOCK_BYTES + i * CACHELINE_BYTES)
+    # requested = PFE_THRESHOLD lines now
+    prefetch = d.load(2 * BLOCK_BYTES, 3)
+    assert len(prefetch) == BLOCK_CACHELINES - PFE_THRESHOLD
+    # prefetched offsets are exactly the never-inserted ones
+    assert set(prefetch) == set(range(PFE_THRESHOLD, BLOCK_CACHELINES))
+
+
+def test_load_resets_tracking():
+    d = DBUF()
+    d.load(BLOCK_BYTES, 2)
+    d.load(2 * BLOCK_BYTES, 7)
+    assert d.requested == {7}
+    assert d.loads == 2
+
+
+def test_first_load_never_prefetches():
+    d = DBUF()
+    assert d.load(BLOCK_BYTES, 0) == []
+
+
+def test_note_requested_counts_toward_pfe():
+    d = DBUF()
+    d.load(BLOCK_BYTES, 0)
+    for i in range(1, PFE_THRESHOLD):
+        d.note_requested(BLOCK_BYTES + i * CACHELINE_BYTES)
+    prefetch = d.load(2 * BLOCK_BYTES, 0)
+    assert len(prefetch) == BLOCK_CACHELINES - PFE_THRESHOLD
+
+
+def test_invalidate():
+    d = DBUF()
+    d.load(BLOCK_BYTES, 0)
+    d.invalidate()
+    assert not d.holds(BLOCK_BYTES)
+    assert d.requested == set()

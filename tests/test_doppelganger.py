@@ -1,0 +1,94 @@
+"""Tests for the Doppelgänger approximate-dedup model."""
+
+import numpy as np
+import pytest
+
+from repro.common.constants import VALUES_PER_CACHELINE
+from repro.doppelganger import DedupStats, dedup_roundtrip, line_signatures
+
+
+class TestSignatures:
+    def test_identical_lines_same_signature(self):
+        lines = np.ones((4, VALUES_PER_CACHELINE), dtype=np.float32)
+        sigs = line_signatures(lines, bucket_width=0.1)
+        assert len(set(sigs.tolist())) == 1
+
+    def test_distant_lines_differ(self):
+        lines = np.zeros((2, VALUES_PER_CACHELINE), dtype=np.float32)
+        lines[1] = 100.0
+        sigs = line_signatures(lines, bucket_width=0.1)
+        assert sigs[0] != sigs[1]
+
+    def test_spread_disambiguates(self):
+        flat = np.ones((1, VALUES_PER_CACHELINE), dtype=np.float32)
+        spiky = flat.copy()
+        spiky[0, 0] = -13.0
+        spiky[0, 1] = 15.0  # same mean as flat, different spread
+        both = np.vstack([flat, spiky])
+        both[1] *= flat.mean() / both[1].mean()
+        sigs = line_signatures(both, bucket_width=0.5)
+        assert sigs[0] != sigs[1]
+
+    def test_invalid_bucket_width(self):
+        with pytest.raises(ValueError):
+            line_signatures(np.ones((1, 16), dtype=np.float32), 0.0)
+
+
+class TestDedupRoundtrip:
+    def test_constant_data_dedups_to_one_line(self):
+        arr = np.full(16 * 100, 5.0, dtype=np.float32)
+        out, stats = dedup_roundtrip(arr)
+        assert np.array_equal(out, arr)
+        assert stats.unique_lines == 1
+        assert stats.dedup_factor == 100.0
+
+    def test_unique_noise_no_dedup(self, rng):
+        arr = rng.normal(0, 1, 16 * 200).astype(np.float32)
+        out, stats = dedup_roundtrip(arr, similarity_threshold=1e-6)
+        assert stats.dedup_factor < 1.5
+
+    def test_error_bounded_by_bucket_on_smooth_data(self, rng):
+        base = np.linspace(100.0, 200.0, 16 * 500).astype(np.float32)
+        out, stats = dedup_roundtrip(base, similarity_threshold=0.001)
+        span = float(base.max() - base.min())
+        # each line maps to a representative within ~2 buckets
+        assert np.abs(out - base).max() <= 4 * 0.001 * span
+
+    def test_wide_span_aliases_near_zero_values(self, rng):
+        """The paper's failure mode: a huge value span makes buckets so
+        wide that small-magnitude lines alias to distant representatives."""
+        arr = np.concatenate([
+            rng.uniform(-1e6, 1e6, 16 * 50).astype(np.float32),
+            rng.uniform(-1.0, 1.0, 16 * 50).astype(np.float32),
+        ])
+        out, _ = dedup_roundtrip(arr, similarity_threshold=0.02)
+        small = arr[16 * 50 :]
+        approx = out[16 * 50 :]
+        rel = np.abs(approx - small) / np.maximum(np.abs(small), 1e-3)
+        assert rel.max() > 1.0  # >100% error on some near-zero values
+
+    def test_preserves_shape_and_tail(self, rng):
+        arr = rng.normal(10, 1, (7, 33)).astype(np.float32)  # 231 values: tail
+        out, _ = dedup_roundtrip(arr)
+        assert out.shape == arr.shape
+        # the sub-line tail is untouched
+        assert np.array_equal(out.ravel()[224:], arr.ravel()[224:])
+
+    def test_empty_and_tiny(self):
+        out, stats = dedup_roundtrip(np.zeros(3, dtype=np.float32))
+        assert stats.total_lines == 0
+        assert stats.dedup_factor == 1.0
+
+    def test_first_occurrence_is_representative(self):
+        a = np.full(16, 1.0, dtype=np.float32)
+        b = np.full(16, 1.0001, dtype=np.float32)  # same bucket as a
+        c = np.full(16, 3.0, dtype=np.float32)  # sets the value span
+        arr = np.concatenate([a, b, c])
+        out, stats = dedup_roundtrip(arr, similarity_threshold=0.5)
+        assert stats.unique_lines == 2
+        assert np.array_equal(out[16:32], a)  # b reads back a's values
+
+
+def test_dedup_stats_factor():
+    assert DedupStats(100, 25).dedup_factor == 4.0
+    assert DedupStats(0, 0).dedup_factor == 1.0

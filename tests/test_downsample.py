@@ -1,0 +1,152 @@
+"""Tests for the 1D/2D downsampling and interpolated reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.constants import SUMMARY_VALUES, VALUES_PER_BLOCK
+from repro.compression.downsample import (
+    downsample_1d,
+    downsample_2d,
+    reconstruct_1d,
+    reconstruct_2d,
+)
+
+SCALE = 1 << 20  # scaled integers (keep 256*SCALE inside int32)
+
+
+def as_blocks(*rows):
+    return np.array(rows, dtype=np.int64)
+
+
+class TestDownsample:
+    def test_1d_averages_runs_of_16(self):
+        block = np.arange(256, dtype=np.int64) * SCALE
+        s = downsample_1d(block[None, :])[0]
+        expected = block.reshape(16, 16).mean(axis=1)
+        assert np.abs(s - expected).max() <= 1
+
+    def test_2d_averages_tiles(self):
+        grid = np.arange(256, dtype=np.int64).reshape(16, 16) * 1000
+        s = downsample_2d(grid.reshape(1, 256))[0].reshape(4, 4)
+        for i in range(4):
+            for j in range(4):
+                tile = grid[4 * i : 4 * i + 4, 4 * j : 4 * j + 4]
+                assert abs(s[i, j] - round(tile.mean())) <= 1
+
+    def test_constant_block_exact(self):
+        block = np.full((3, 256), 12345678, dtype=np.int64)
+        assert (downsample_1d(block) == 12345678).all()
+        assert (downsample_2d(block) == 12345678).all()
+
+    def test_negative_values(self):
+        block = np.full((1, 256), -1000, dtype=np.int64)
+        assert (downsample_1d(block) == -1000).all()
+        assert (downsample_2d(block) == -1000).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            downsample_1d(np.zeros((2, 100)))
+        with pytest.raises(ValueError):
+            downsample_2d(np.zeros(256))
+
+    def test_output_shape_and_dtype(self):
+        out = downsample_1d(np.zeros((5, 256), dtype=np.int64))
+        assert out.shape == (5, SUMMARY_VALUES)
+        assert out.dtype == np.int32
+
+
+class TestReconstruct:
+    def test_constant_exact(self):
+        s = np.full((2, 16), 777, dtype=np.int32)
+        assert (reconstruct_1d(s) == 777).all()
+        assert (reconstruct_2d(s) == 777).all()
+
+    def test_1d_linear_ramp_near_exact(self):
+        """Linear data is reproduced by linear interpolation (incl. the
+        extrapolated block edges)."""
+        block = (np.arange(256, dtype=np.int64) * 1000)[None, :]
+        recon = reconstruct_1d(downsample_1d(block))[0]
+        assert np.abs(recon - block[0]).max() <= 16  # rounding only
+
+    def test_2d_bilinear_ramp_near_exact(self):
+        r = np.arange(16, dtype=np.int64)
+        grid = (r[:, None] * 3000 + r[None, :] * 5000).reshape(1, 256)
+        recon = reconstruct_2d(downsample_2d(grid))[0]
+        assert np.abs(recon - grid[0]).max() <= 32
+
+    def test_edge_extrapolation_beats_clamping(self):
+        """The first half-segment of a steep ramp must track the slope."""
+        block = (np.arange(256, dtype=np.int64) * 100000)[None, :]
+        recon = reconstruct_1d(downsample_1d(block))[0]
+        # With flat clamping, recon[0] would be the segment-0 mean
+        # (≈ 7.5 * 100000); with extrapolation it tracks value 0.
+        assert abs(recon[0] - 0) < 100000
+
+    def test_reconstruction_bounded_for_bounded_input(self, rng):
+        blocks = rng.integers(-(10**6), 10**6, (8, 256)).astype(np.int64)
+        for down, recon in [
+            (downsample_1d, reconstruct_1d),
+            (downsample_2d, reconstruct_2d),
+        ]:
+            s = down(blocks)
+            out = recon(s)
+            # linear inter/extrapolation overshoot is bounded by ~1.5x
+            # the summary range
+            smin, smax = s.min(), s.max()
+            margin = (int(smax) - int(smin)) + 1
+            assert out.min() >= smin - margin
+            assert out.max() <= smax + margin
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            reconstruct_1d(np.zeros((2, 8)))
+        with pytest.raises(ValueError):
+            reconstruct_2d(np.zeros(16))
+
+    def test_saturation_no_wraparound(self):
+        # summaries at int32 extremes: extrapolation must clip, not wrap
+        s = np.zeros((1, 16), dtype=np.int64)
+        s[0, ::2] = 2**31 - 1
+        s[0, 1::2] = -(2**31)
+        out1 = reconstruct_1d(s)
+        out2 = reconstruct_2d(s)
+        assert out1.dtype == np.int32 and out2.dtype == np.int32
+        # values must stay within int32 (no silent overflow in the cast)
+        assert out1.min() >= -(2**31) and out1.max() <= 2**31 - 1
+
+
+class TestRoundtripProperties:
+    @given(st.integers(min_value=-(2**27), max_value=2**27))
+    def test_constant_blocks_are_fixed_points(self, v):
+        block = np.full((1, 256), v, dtype=np.int64)
+        for down, recon in [
+            (downsample_1d, reconstruct_1d),
+            (downsample_2d, reconstruct_2d),
+        ]:
+            out = recon(down(block))
+            assert (out == v).all()
+
+    @given(
+        st.integers(min_value=-(2**20), max_value=2**20),
+        st.integers(min_value=-4000, max_value=4000),
+    )
+    def test_linear_blocks_recovered(self, intercept, slope):
+        block = (intercept + slope * np.arange(256, dtype=np.int64))[None, :]
+        out = reconstruct_1d(downsample_1d(block))[0]
+        assert np.abs(out - block[0]).max() <= max(16, abs(slope) // 8 + 16)
+
+    @given(st.lists(st.integers(-(2**24), 2**24), min_size=256, max_size=256))
+    def test_recompression_idempotent(self, xs):
+        """Compressing already-reconstructed data reproduces the summary
+        (the stability property that prevents iterative drift)."""
+        block = np.array(xs, dtype=np.int64)[None, :]
+        s1 = downsample_1d(block)
+        r1 = reconstruct_1d(s1)
+        s2 = downsample_1d(r1.astype(np.int64))
+        # Interpolation smears isolated summary spikes into neighboring
+        # segments, so re-averaging can move a summary by up to ~1/4 of
+        # the summary span (plus rounding); smooth data is a fixed point.
+        span = int(s1.max()) - int(s1.min())
+        assert np.abs(s2.astype(np.int64) - s1.astype(np.int64)).max() <= span // 4 + 6

@@ -1,0 +1,70 @@
+"""Tests for the DDR4 timing model."""
+
+import pytest
+
+from repro.common.config import DRAMConfig
+from repro.memory import DRAM
+
+
+@pytest.fixture
+def dram():
+    return DRAM(DRAMConfig())
+
+
+class TestRowBuffer:
+    def test_first_access_misses_row(self, dram):
+        lat = dram.access(0)
+        assert lat >= dram.config.row_miss_cycles
+        assert dram.stats["row_misses"] == 1
+
+    def test_same_row_hits(self, dram):
+        dram.access(0)
+        lat = dram.access(64 * dram.config.channels)  # same channel, next line
+        assert dram.stats["row_hits"] == 1
+        assert lat < dram.config.row_miss_cycles + dram.config.burst_cycles + 1
+
+    def test_row_conflict_misses(self, dram):
+        dram.access(0)
+        far = dram.config.row_bytes * dram.config.channels * dram.config.banks_per_channel * 64
+        dram.access(far)
+        # returning to the original row: bank may have been reopened
+        assert dram.stats["row_misses"] >= 1
+
+    def test_multi_line_block_pipelines(self, dram):
+        lat1 = DRAM(DRAMConfig()).access(0, lines=1)
+        lat8 = DRAM(DRAMConfig()).access(0, lines=8)
+        assert lat8 > lat1
+        assert lat8 < 8 * lat1  # streamed, not serialized row misses
+
+    def test_invalid_lines(self, dram):
+        with pytest.raises(ValueError):
+            dram.access(0, lines=0)
+
+
+class TestTrafficAccounting:
+    def test_read_write_bytes(self, dram):
+        dram.access(0, lines=2, write=False)
+        dram.access(4096, lines=1, write=True)
+        assert dram.stats["bytes_read"] == 128
+        assert dram.stats["bytes_written"] == 64
+        assert dram.total_bytes == 192
+
+    def test_partial_transfer(self, dram):
+        dram.transfer_partial(12, write=False)
+        assert dram.stats["bytes_read"] == 12
+
+    def test_channel_busy_accumulates(self, dram):
+        for i in range(16):
+            dram.access(i * 64)
+        assert sum(dram.channel_busy) == 16 * dram.config.burst_cycles
+
+    def test_bandwidth_bound(self, dram):
+        assert dram.bandwidth_bound_cycles() == 0
+        dram.access(0, lines=4)
+        assert dram.bandwidth_bound_cycles() > 0
+
+    def test_channel_interleave_balances(self, dram):
+        for i in range(64):
+            dram.access(i * 64)
+        busy = dram.channel_busy
+        assert max(busy) - min(busy) <= dram.config.burst_cycles

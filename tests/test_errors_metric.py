@@ -1,0 +1,63 @@
+"""Tests for the error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.compression.errors import mean_relative_error, relative_error
+
+
+class TestRelativeError:
+    def test_zero_for_exact(self):
+        v = np.array([1.0, -2.0, 3.0])
+        assert relative_error(v, v).max() == 0.0
+
+    def test_simple_values(self):
+        orig = np.array([2.0])
+        approx = np.array([2.1])
+        assert relative_error(orig, approx)[0] == pytest.approx(0.05)
+
+    def test_near_zero_guard(self):
+        orig = np.array([0.0])
+        approx = np.array([1e-20])
+        assert np.isfinite(relative_error(orig, approx)[0])
+
+
+class TestMeanRelativeError:
+    def test_zero_for_identical(self):
+        v = np.linspace(1, 2, 100)
+        assert mean_relative_error(v, v) == 0.0
+
+    def test_uniform_scale_error(self):
+        v = np.linspace(1, 2, 100)
+        assert mean_relative_error(v, v * 1.01) == pytest.approx(0.01, rel=1e-6)
+
+    def test_empty(self):
+        assert mean_relative_error(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_relative_error(np.zeros(3), np.zeros(4))
+
+    def test_zero_reference_values_use_scale_floor(self):
+        """Exact zeros in the reference must not blow the metric up when
+        the deviation is tiny relative to the output's scale."""
+        ref = np.ones(1000)
+        ref[::10] = 0.0
+        approx = ref + 1e-9
+        assert mean_relative_error(ref, approx) < 1e-4
+
+    def test_runaway_output_still_huge(self):
+        ref = np.ones(100)
+        approx = ref * 50.0
+        assert mean_relative_error(ref, approx) > 10.0
+
+    def test_nonfinite_approx_counts_as_full_error(self):
+        ref = np.ones(4)
+        approx = np.array([1.0, np.nan, np.inf, 1.0])
+        err = mean_relative_error(ref, approx)
+        assert err == pytest.approx(0.5)
+
+    def test_multidimensional_inputs(self):
+        ref = np.ones((10, 10))
+        approx = ref * 1.02
+        assert mean_relative_error(ref, approx) == pytest.approx(0.02, rel=1e-6)

@@ -1,0 +1,48 @@
+"""Every example script must run cleanly (deliverable b)."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *argv: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *argv],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "ratio" in out
+    assert "pack -> unpack -> decompress" in out
+
+
+def test_memory_image():
+    out = run_example("memory_image.py")
+    assert "lazy" in out
+    assert "recompress" in out
+
+
+def test_heat_diffusion_quick():
+    out = run_example("heat_diffusion.py", "--quick")
+    assert "AVR" in out and "truncate" in out
+    assert "normalized to the baseline" in out
+
+
+def test_examples_exist_and_are_documented():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        text = (EXAMPLES / script).read_text()
+        assert text.startswith('"""'), f"{script} missing module docstring"
+        assert "Run:" in text, f"{script} missing run instructions"

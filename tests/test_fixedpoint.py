@@ -1,0 +1,135 @@
+"""Tests for fixed-point conversion and exponent biasing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixedpoint import (
+    DEFAULT_FORMAT,
+    FixedPointFormat,
+    apply_bias,
+    choose_bias,
+    fixed_to_float,
+    float_to_fixed,
+    remove_bias,
+)
+from repro.fixedpoint.bias import TARGET_MAX_EXPONENT
+
+
+class TestFormat:
+    def test_default_q8_24(self):
+        assert DEFAULT_FORMAT.frac_bits == 24
+        assert DEFAULT_FORMAT.max_value == pytest.approx(128.0, rel=1e-6)
+        assert DEFAULT_FORMAT.resolution == 2.0**-24
+
+    def test_invalid_frac_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(frac_bits=31)
+        with pytest.raises(ValueError):
+            FixedPointFormat(frac_bits=0)
+
+
+class TestConvert:
+    def test_roundtrip_in_range(self, rng):
+        values = rng.uniform(-100.0, 100.0, 1000).astype(np.float32)
+        fixed, sat = float_to_fixed(values)
+        assert not sat.any()
+        back = fixed_to_float(fixed)
+        assert np.abs(back - values).max() <= DEFAULT_FORMAT.resolution
+
+    def test_saturation_flagged(self):
+        values = np.array([1e6, -1e6, 1.0], dtype=np.float32)
+        fixed, sat = float_to_fixed(values)
+        assert list(sat) == [True, True, False]
+        assert fixed[0] == DEFAULT_FORMAT.max_int
+        assert fixed[1] == DEFAULT_FORMAT.min_int
+
+    def test_nan_becomes_zero(self):
+        fixed, sat = float_to_fixed(np.array([np.nan], dtype=np.float32))
+        assert sat[0]
+        assert fixed[0] == 0
+
+    def test_zero_exact(self):
+        fixed, _ = float_to_fixed(np.zeros(4, dtype=np.float32))
+        assert np.array_equal(fixed, np.zeros(4, dtype=np.int32))
+
+    @given(
+        st.lists(
+            st.floats(min_value=-127.0, max_value=127.0, width=32),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_roundtrip_property(self, xs):
+        values = np.array(xs, dtype=np.float32)
+        fixed, sat = float_to_fixed(values)
+        assert not sat.any()
+        back = fixed_to_float(fixed)
+        assert np.abs(back.astype(np.float64) - values).max() <= 2 * DEFAULT_FORMAT.resolution
+
+
+class TestBias:
+    def test_large_values_get_negative_bias(self):
+        values = np.full(16, 1e10, dtype=np.float32)
+        bias = choose_bias(values)
+        assert bias < 0
+        biased = apply_bias(values, bias)
+        assert np.abs(biased).max() < DEFAULT_FORMAT.max_value
+
+    def test_small_values_get_positive_bias(self):
+        values = np.full(16, 1e-10, dtype=np.float32)
+        bias = choose_bias(values)
+        assert bias > 0
+
+    def test_bias_targets_sweet_spot(self):
+        values = np.array([1e10, 5e9], dtype=np.float32)
+        bias = choose_bias(values)
+        from repro.common import bitops
+
+        biased = apply_bias(values, bias)
+        assert bitops.exponent_bits(biased).max() == TARGET_MAX_EXPONENT
+
+    def test_specials_skip_bias(self):
+        assert choose_bias(np.array([np.inf, 1.0], dtype=np.float32)) == 0
+        assert choose_bias(np.array([np.nan, 1.0], dtype=np.float32)) == 0
+
+    def test_all_zero_skips(self):
+        assert choose_bias(np.zeros(16, dtype=np.float32)) == 0
+
+    def test_wide_range_skips(self):
+        # biasing would underflow the small value's exponent
+        values = np.array([1e30, 1e-30], dtype=np.float32)
+        assert choose_bias(values) == 0
+
+    def test_apply_remove_roundtrip(self, rng):
+        values = rng.uniform(1e6, 2e6, 64).astype(np.float32)
+        bias = choose_bias(values)
+        assert bias != 0
+        restored = remove_bias(apply_bias(values, bias), bias)
+        assert np.allclose(restored, values, rtol=1e-6)
+
+    def test_remove_bias_flushes_underflow(self):
+        # a reconstructed value far smaller than any original: exact
+        # exponent subtraction would underflow; ldexp flushes gracefully
+        tiny = np.array([1e-38], dtype=np.float32)
+        out = remove_bias(tiny, 120)
+        assert out[0] == 0.0
+
+    def test_zero_bias_identity(self):
+        values = np.array([1.5, -2.0], dtype=np.float32)
+        assert np.array_equal(apply_bias(values, 0), values)
+        assert np.array_equal(remove_bias(values, 0), values)
+
+    @given(
+        st.floats(min_value=1e-20, max_value=1e20).filter(lambda x: x > 0),
+        st.integers(min_value=2, max_value=64),
+    )
+    def test_bias_never_overflows_chosen_block(self, scale, n):
+        rng = np.random.default_rng(0)
+        values = (scale * rng.uniform(0.5, 1.5, n)).astype(np.float32)
+        bias = choose_bias(values)
+        biased = apply_bias(values, bias)  # must not raise
+        assert np.isfinite(biased).all()
+        if bias != 0:
+            assert np.abs(biased).max() < DEFAULT_FORMAT.max_value

@@ -1,0 +1,192 @@
+"""Tests for the AVR LLC: request flows (Fig. 7) and evictions (Fig. 8)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.llc_avr import AVRLLC
+from repro.common.config import CacheConfig, DRAMConfig
+from repro.common.constants import BLOCK_BYTES, BLOCK_CACHELINES, CACHELINE_BYTES
+from repro.memory import DRAM
+
+#: one approximable region for the tests
+APPROX_BASE = 0x10000
+APPROX_END = APPROX_BASE + 64 * BLOCK_BYTES
+
+
+def make_llc(block_size=2, sets=64, ways=8):
+    dram = DRAM(DRAMConfig())
+    llc = AVRLLC(
+        CacheConfig(sets * ways * 64, ways, 15),
+        dram,
+        block_size_of=lambda addr: block_size,
+        is_approx=lambda addr: APPROX_BASE <= addr < APPROX_END,
+    )
+    return llc, dram
+
+
+class TestRequestFlow:
+    def test_exact_miss_fetches_one_line(self):
+        llc, dram = make_llc()
+        llc.read(0)
+        assert dram.stats["bytes_read"] == 64
+        assert llc.stats["llc_misses"] == 1
+
+    def test_exact_then_hit(self):
+        llc, _ = make_llc()
+        llc.read(0)
+        llc.read(0)
+        assert llc.stats["llc_hits"] == 1
+
+    def test_approx_miss_fetches_compressed_block(self):
+        llc, dram = make_llc(block_size=2)
+        llc.read(APPROX_BASE)
+        assert llc.stats["req_miss"] == 1
+        assert dram.stats["bytes_read"] == 2 * 64 + 12  # block + CMT miss
+
+    def test_dbuf_serves_block_neighbors(self):
+        llc, dram = make_llc()
+        llc.read(APPROX_BASE)
+        before = dram.stats["bytes_read"]
+        llc.read(APPROX_BASE + 5 * CACHELINE_BYTES)
+        assert llc.stats["req_hit_dbuf"] == 1
+        assert dram.stats["bytes_read"] == before  # no new traffic
+
+    def test_compressed_hit_after_dbuf_replaced(self):
+        llc, _ = make_llc()
+        llc.read(APPROX_BASE)  # block A in LLC + DBUF
+        llc.read(APPROX_BASE + BLOCK_BYTES)  # block B replaces DBUF
+        # A line of block A not inserted as UCL: served from CMS in LLC
+        llc.read(APPROX_BASE + 7 * CACHELINE_BYTES)
+        assert llc.stats["req_hit_compressed"] == 1
+
+    def test_uncompressed_hit(self):
+        llc, _ = make_llc()
+        llc.read(APPROX_BASE)
+        llc.read(APPROX_BASE + BLOCK_BYTES)  # flush DBUF
+        llc.read(APPROX_BASE)  # the originally-requested UCL is in LLC
+        assert llc.stats["req_hit_uncompressed"] == 1
+
+    def test_uncompressible_block_fetches_single_line(self):
+        llc, dram = make_llc(block_size=BLOCK_CACHELINES)
+        llc.read(APPROX_BASE)
+        assert dram.stats["bytes_read"] == 64 + 12  # line + CMT metadata
+
+    def test_decompression_latency_charged(self):
+        llc, _ = make_llc(block_size=2)
+        lat_miss = llc.read(APPROX_BASE)
+        lat_dbuf = llc.read(APPROX_BASE + CACHELINE_BYTES)
+        assert lat_miss > lat_dbuf
+
+    def test_decompression_count(self):
+        llc, _ = make_llc()
+        llc.read(APPROX_BASE)
+        llc.read(APPROX_BASE + BLOCK_BYTES)
+        assert llc.stats["decompressions"] == 2
+
+    def test_pfe_prefetch_on_popular_block(self):
+        llc, _ = make_llc()
+        llc.read(APPROX_BASE)
+        for i in range(1, 8):  # request >= half of the block's lines
+            llc.read(APPROX_BASE + i * CACHELINE_BYTES)
+        llc.read(APPROX_BASE + BLOCK_BYTES)  # replaces DBUF -> PFE fires
+        assert llc.stats["pfe_prefetches"] == 8
+        # prefetched lines now hit as UCLs
+        llc.read(APPROX_BASE + 12 * CACHELINE_BYTES)
+        assert llc.stats["req_hit_uncompressed"] >= 1
+
+
+class TestEvictionFlow:
+    def test_recompress_when_cms_resident(self):
+        llc, dram = make_llc()
+        llc.read(APPROX_BASE)  # brings CMSs into LLC (sets 0..size-1)
+        before = dram.stats["bytes_written"]
+        # Evict a dirty UCL whose set (5) differs from the CMS sets, so
+        # the compressed copy stays resident while the UCL falls out.
+        target = APPROX_BASE + 5 * CACHELINE_BYTES
+        llc.writeback(target)
+        self._flood_set(llc, target)
+        assert llc.stats["evict_recompress"] >= 1
+        assert dram.stats["bytes_written"] == before  # no memory traffic
+
+    def test_lazy_writeback_when_block_only_in_memory(self):
+        llc, dram = make_llc(block_size=2)
+        llc.writeback(APPROX_BASE)  # dirty UCL; block never fetched
+        self._flood_set(llc, APPROX_BASE)
+        assert llc.stats["evict_lazy_writeback"] >= 1
+        assert dram.stats["bytes_written"] >= 64
+
+    def test_lazy_space_exhaustion_triggers_fetch_recompress(self):
+        llc, dram = make_llc(block_size=14)  # only 2 lazy slots
+        for i in range(3):
+            llc.writeback(APPROX_BASE + i * CACHELINE_BYTES)
+            self._flood_set(llc, APPROX_BASE + i * CACHELINE_BYTES)
+        assert llc.stats["evict_lazy_writeback"] == 2
+        assert llc.stats["evict_fetch_recompress"] >= 1
+
+    def test_uncompressible_block_writes_back_plain(self):
+        llc, dram = make_llc(block_size=BLOCK_CACHELINES)
+        llc.writeback(APPROX_BASE)
+        self._flood_set(llc, APPROX_BASE)
+        assert llc.stats["evict_uncompressed_writeback"] >= 1
+
+    def test_skip_counter_limits_attempts(self):
+        """An uncompressible block fails once, then skips retries."""
+        llc, _ = make_llc(block_size=BLOCK_CACHELINES)
+        for _ in range(4):
+            llc.writeback(APPROX_BASE)
+            self._flood_set(llc, APPROX_BASE)
+        entry, _ = llc.cmt.lookup(APPROX_BASE)
+        assert entry.failed >= 1
+        assert llc.stats["evict_uncompressed_writeback"] == 4
+
+    def test_cms_group_eviction(self):
+        """Evicting one CMS evicts every CMS of the block."""
+        llc, dram = make_llc(block_size=4, sets=16, ways=2)
+        llc.read(APPROX_BASE)
+        # flood the CMS sets until block's CMS0 is evicted
+        block_no = APPROX_BASE // BLOCK_BYTES
+        set0 = llc._cms_set(block_no, 0)
+        for j in range(4):
+            line = (set0 + j * 16) * CACHELINE_BYTES + 0x100000 * 64
+            llc.writeback(line + 64 * 16 * 100)
+        self._flood_specific_set(llc, set0)
+        assert llc._block_cms_present(block_no) == 0
+        assert llc.stats["cms_block_evictions"] >= 1
+
+    def test_exact_dirty_eviction_writes_line(self):
+        llc, dram = make_llc()
+        llc.writeback(0)
+        self._flood_set(llc, 0)
+        assert llc.stats["exact_writebacks"] >= 1
+        assert dram.stats["bytes_written"] >= 64
+
+    # helpers ----------------------------------------------------------
+    @staticmethod
+    def _flood_set(llc: AVRLLC, addr: int) -> None:
+        """Insert exact lines mapping to addr's set until it is evicted."""
+        line_no = addr // CACHELINE_BYTES
+        set_idx = line_no % llc.num_sets
+        base = 0x4000000
+        for i in range(llc.ways + 2):
+            other = (base // CACHELINE_BYTES // llc.num_sets + i) * llc.num_sets + set_idx
+            llc.read(other * CACHELINE_BYTES)
+
+    @staticmethod
+    def _flood_specific_set(llc: AVRLLC, set_idx: int) -> None:
+        base = 0x8000000
+        for i in range(llc.ways + 2):
+            line = (base // CACHELINE_BYTES // llc.num_sets + i) * llc.num_sets + set_idx
+            llc.read(line * CACHELINE_BYTES)
+
+
+class TestCMSLRURefresh:
+    def test_ucl_access_keeps_cms_hot(self):
+        """Accessing a block's UCLs refreshes its CMS recency, so the
+        compressed copy survives streaming UCL traffic (paper §3.4)."""
+        llc, _ = make_llc(block_size=1, sets=8, ways=4)
+        llc.read(APPROX_BASE)
+        block_no = APPROX_BASE // BLOCK_BYTES
+        for i in range(200):
+            llc.read(APPROX_BASE)  # keep touching a UCL of the block
+            llc.read(0x4000000 + i * 64)  # exact streaming pressure
+        assert llc._block_cms_present(block_no) >= 1

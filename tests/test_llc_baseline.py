@@ -1,0 +1,74 @@
+"""Tests for the baseline/Truncate/Doppelgänger LLC models."""
+
+import pytest
+
+from repro.cache.llc_baseline import BaselineLLC
+from repro.common.config import CacheConfig, DRAMConfig
+from repro.memory import DRAM
+
+
+def make(capacity_multiplier=1.0, approx_line_bytes=64, approx=None):
+    dram = DRAM(DRAMConfig())
+    llc = BaselineLLC(
+        CacheConfig(64 * 8 * 64, 8, 15),
+        dram,
+        is_approx=approx,
+        capacity_multiplier=capacity_multiplier,
+        approx_line_bytes=approx_line_bytes,
+    )
+    return llc, dram
+
+
+def test_miss_then_hit():
+    llc, dram = make()
+    llc.read(0)
+    llc.read(0)
+    assert llc.stats["llc_misses"] == 1
+    assert llc.stats["llc_hits"] == 1
+    assert dram.stats["bytes_read"] == 64
+
+
+def test_dirty_writeback_traffic():
+    llc, dram = make()
+    llc.writeback(0)
+    # flood the set to force the dirty victim out
+    for i in range(1, 12):
+        llc.read(i * 64 * 64)
+    assert dram.stats["bytes_written"] == 64
+    assert llc.stats["writebacks"] == 1
+
+
+def test_truncate_mode_halves_approx_traffic():
+    approx = lambda addr: addr < 1 << 20
+    llc, dram = make(approx_line_bytes=32, approx=approx)
+    llc.read(0)  # approx line: 32 B
+    llc.read(1 << 21)  # exact line: 64 B
+    assert llc.stats["bytes_approx"] == 32
+    assert llc.stats["bytes_exact"] == 64
+    assert dram.total_bytes == 96
+
+
+def test_capacity_multiplier_reduces_misses():
+    def run(mult):
+        llc, _ = make(capacity_multiplier=mult)
+        for _ in range(3):
+            for i in range(700):  # working set > base capacity (512 lines)
+                llc.read(i * 64)
+        return llc.stats["llc_misses"]
+
+    assert run(2.0) < run(1.0)
+
+
+def test_latency_hit_vs_miss():
+    llc, _ = make()
+    lat_miss = llc.read(0)
+    lat_hit = llc.read(0)
+    assert lat_hit == 15
+    assert lat_miss > lat_hit
+
+
+def test_mpki_misses_property():
+    llc, _ = make()
+    llc.read(0)
+    llc.read(64 * 64)
+    assert llc.mpki_misses == 2

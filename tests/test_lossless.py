@@ -1,0 +1,126 @@
+"""Tests for the BDI lossless layer stacked on AVR."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.constants import CACHELINE_BYTES, VALUES_PER_BLOCK
+from repro.common.types import ErrorThresholds
+from repro.compression import AVRCompressor
+from repro.compression.lossless import (
+    EncodedLine,
+    compression_ratio,
+    decode_line,
+    encode_line,
+    line_sizes,
+    stacked_ratio,
+)
+
+
+def as_line(values, dtype):
+    arr = np.asarray(values, dtype=dtype)
+    raw = arr.view(np.uint8)
+    assert raw.size == CACHELINE_BYTES
+    return raw
+
+
+class TestEncodings:
+    def test_zero_line(self):
+        e = encode_line(np.zeros(64, dtype=np.uint8))
+        assert e.encoding == "zero"
+        assert e.size_bytes == 1
+        assert np.array_equal(decode_line(e), np.zeros(64, dtype=np.uint8))
+
+    def test_repeated_value(self):
+        line = as_line([0x1122334455667788] * 8, np.uint64)
+        e = encode_line(line)
+        assert e.encoding == "repeat"
+        assert e.size_bytes == 9
+        assert np.array_equal(decode_line(e), line)
+
+    def test_base8_small_deltas(self):
+        base = 1_000_000_000
+        line = as_line([base + d for d in (0, 3, -5, 100, 7, -100, 50, 1)], np.uint64)
+        e = encode_line(line)
+        assert e.encoding == "base8-d1"
+        assert e.size_bytes == 1 + 8 + 8
+        assert np.array_equal(decode_line(e), line)
+
+    def test_base4_deltas(self):
+        base = 70_000
+        line = as_line([base + d for d in range(-8, 8)], np.uint32)
+        e = encode_line(line)
+        assert e.encoding.startswith("base4")
+        assert np.array_equal(decode_line(e), line)
+
+    def test_incompressible_random(self, rng):
+        line = rng.integers(0, 256, 64).astype(np.uint8)
+        e = encode_line(line)
+        # random bytes are (almost surely) raw
+        assert e.encoding == "raw"
+        assert e.size_bytes == 64
+        assert np.array_equal(decode_line(e, raw_fallback=line), line)
+
+    def test_raw_decode_requires_fallback(self):
+        with pytest.raises(ValueError):
+            decode_line(EncodedLine("raw", 64))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            encode_line(np.zeros(32, dtype=np.uint8))
+
+    def test_smaller_encoding_preferred(self):
+        # deltas fit in 1 byte: must not pick d2/d4
+        line = as_line([500 + d for d in range(8)], np.uint64)
+        assert encode_line(line).encoding == "base8-d1"
+
+    @given(
+        st.integers(min_value=200, max_value=2**63),
+        st.lists(st.integers(-120, 120), min_size=8, max_size=8),
+    )
+    @settings(max_examples=30)
+    def test_base8_roundtrip_property(self, base, deltas):
+        words = np.array([base + d for d in deltas], dtype=np.uint64)
+        line = words.view(np.uint8)
+        e = encode_line(line)
+        assert np.array_equal(decode_line(e, raw_fallback=line), line)
+
+    @given(st.binary(min_size=64, max_size=64))
+    @settings(max_examples=40)
+    def test_any_line_roundtrips(self, payload):
+        line = np.frombuffer(payload, dtype=np.uint8)
+        e = encode_line(line)
+        assert 1 <= e.size_bytes <= 64
+        assert np.array_equal(decode_line(e, raw_fallback=line), line)
+
+
+class TestAggregate:
+    def test_line_sizes_shape(self):
+        data = bytes(256)
+        sizes = line_sizes(data)
+        assert sizes.shape == (4,)
+        assert (sizes == 1).all()  # all-zero lines
+
+    def test_ratio_bounds(self, rng):
+        noise = rng.integers(0, 256, 64 * 32).astype(np.uint8).tobytes()
+        assert compression_ratio(noise) == pytest.approx(1.0, abs=0.05)
+        assert compression_ratio(bytes(64 * 32)) == 64.0
+
+    def test_stacked_beats_avr_alone(self):
+        """The paper's orthogonality claim: BDI on AVR-compressed images
+        squeezes the summaries/outliers further."""
+        x = np.linspace(0.0, 1.0, VALUES_PER_BLOCK, dtype=np.float32)
+        blocks = (x[None, :] * 2e-5 + 1.0).repeat(16, 0)  # near-constant
+        comp = AVRCompressor(ErrorThresholds(0.02, 0.01))
+        ratios = stacked_ratio(blocks, comp)
+        assert ratios["avr_ratio"] >= 8.0
+        assert ratios["stacked_ratio"] > ratios["avr_ratio"]
+
+    def test_stack_on_incompressible_data(self, rng):
+        blocks = rng.normal(0, 1, (4, VALUES_PER_BLOCK)).astype(np.float32)
+        comp = AVRCompressor(ErrorThresholds(0.02, 0.01))
+        ratios = stacked_ratio(blocks, comp)
+        # AVR fails -> raw float noise, which BDI cannot shrink either
+        assert ratios["avr_ratio"] == pytest.approx(1.0)
+        assert ratios["stacked_ratio"] == pytest.approx(1.0, abs=0.1)
