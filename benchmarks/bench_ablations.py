@@ -18,7 +18,11 @@ from repro.harness import (
 
 @pytest.fixture(scope="module")
 def llc_ablations():
-    return run_llc_ablations("heat", scale=0.75, max_accesses_per_core=25_000)
+    # jobs=2 exercises the sweep engine's process-pool path; results
+    # are bit-identical to a serial run.
+    return run_llc_ablations(
+        "heat", scale=0.75, max_accesses_per_core=25_000, jobs=2
+    )
 
 
 def test_llc_ablations(llc_ablations, benchmark):

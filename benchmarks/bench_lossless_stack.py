@@ -12,16 +12,18 @@ import pytest
 from repro.common.constants import VALUES_PER_BLOCK
 from repro.common.types import Design
 from repro.compression import AVRCompressor, stacked_ratio
-from repro.harness import format_table
-from repro.workloads import make_workload
+from repro.harness import SweepPoint, format_table, run_functional_job
 
 WORKLOADS = ("heat", "orbit", "kmeans")
 SAMPLE_BLOCKS = 192
 
 
 def sampled_blocks(name: str) -> np.ndarray:
-    workload = make_workload(name, scale=0.5)
-    reference = workload.run(Design.BASELINE)
+    # The baseline run is the sweep engine's functional job unit, so
+    # this samples exactly the data an evaluation sweep would cache.
+    point = SweepPoint(name, scale=0.5)
+    workload = point.make()
+    reference = run_functional_job(point, Design.BASELINE)
     arrays = [
         r.array.ravel() for r in reference.memory.regions.values() if r.approx
     ]

@@ -8,6 +8,8 @@ assert the paper's qualitative shapes on the results.
 Environment knobs:
 
 * ``REPRO_BENCH_QUICK=1``  — scale workloads down (~2 min instead of ~8)
+* ``REPRO_BENCH_JOBS=N``   — fan the evaluation sweep out over N workers
+* ``REPRO_BENCH_CACHE=dir`` — reuse sweep results across bench sessions
 """
 
 from __future__ import annotations
@@ -27,6 +29,8 @@ def evaluations():
         config=SystemConfig.scaled(num_cores=8),
         scale=0.5 if quick else 1.0,
         max_accesses_per_core=20_000 if quick else 50_000,
+        jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        cache_dir=os.environ.get("REPRO_BENCH_CACHE") or None,
     )
 
 

@@ -6,9 +6,11 @@ hardware-overhead accounting.
 
 Run:  python examples/full_evaluation.py            (~5-10 min)
       python examples/full_evaluation.py --quick    (scaled down, ~2 min)
+      python examples/full_evaluation.py --jobs 8   (parallel sweep)
+      python examples/full_evaluation.py --cache-dir .sweep-cache
 """
 
-import sys
+import argparse
 import time
 
 from repro.common.config import SystemConfig
@@ -32,7 +34,7 @@ from repro.harness import (
 DESIGN_ORDER = [d.value for d in COMPARED_DESIGNS]
 
 
-def main(quick: bool = False) -> None:
+def main(quick: bool = False, jobs: int = 1, cache_dir: str | None = None) -> None:
     t0 = time.time()
     scale = 0.5 if quick else 1.0
     accesses = 20_000 if quick else 50_000
@@ -40,6 +42,8 @@ def main(quick: bool = False) -> None:
         config=SystemConfig.scaled(num_cores=8),
         scale=scale,
         max_accesses_per_core=accesses,
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
     workloads = list(evals)
 
@@ -83,4 +87,9 @@ def main(quick: bool = False) -> None:
 
 
 if __name__ == "__main__":
-    main(quick="--quick" in sys.argv)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache-dir", default=None)
+    args = parser.parse_args()
+    main(quick=args.quick, jobs=args.jobs, cache_dir=args.cache_dir)

@@ -11,11 +11,34 @@ Public API highlights:
   for baseline / AVR / ZeroAVR / Truncate / Doppelgänger.
 * :mod:`repro.harness` — regenerates every table and figure of the
   paper's evaluation.
+* :class:`repro.SweepSpec` / :func:`repro.run_sweep` — the parallel
+  sweep engine: enumerate the evaluation grid as independent job
+  units, fan them out over worker processes, and cache results on
+  disk (see :mod:`repro.harness.sweep`).
 """
 
 from .common import Design, ErrorThresholds, SystemConfig
 from .compression import AVRCompressor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["AVRCompressor", "Design", "ErrorThresholds", "SystemConfig", "__version__"]
+#: sweep-engine names re-exported lazily so ``import repro`` stays
+#: lightweight (the harness pulls in every simulator module).
+_SWEEP_EXPORTS = ("SweepPoint", "SweepResult", "SweepSpec", "run_sweep")
+
+__all__ = [
+    "AVRCompressor",
+    "Design",
+    "ErrorThresholds",
+    "SystemConfig",
+    "__version__",
+    *_SWEEP_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _SWEEP_EXPORTS:
+        from .harness import sweep
+
+        return getattr(sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

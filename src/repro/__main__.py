@@ -6,6 +6,11 @@ Commands:
 * ``workload``  — run one workload under one design and report
 * ``ablate``    — run the LLC / compressor ablation studies
 * ``overheads`` — print the §4.2 hardware-overhead accounting
+
+All simulation commands accept ``--jobs N`` to fan the evaluation
+grid's job units out over ``N`` worker processes (``1`` = serial,
+bit-identical to parallel runs) and ``--cache-dir PATH`` to memoize
+job results on disk so repeated runs skip completed points.
 """
 
 from __future__ import annotations
@@ -33,6 +38,13 @@ from .harness import (
 from .workloads import WORKLOADS
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload size multiplier (default 1.0)")
@@ -41,6 +53,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--accesses", type=int, default=50_000,
                         help="trace accesses per core (default 50000)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for the sweep engine "
+                             "(default 1 = serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="on-disk result cache; re-runs skip "
+                             "already-computed sweep points")
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -49,6 +67,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     evals = evaluate_all(
         names=names, config=config, scale=args.scale, seed=args.seed,
         max_accesses_per_core=args.accesses,
+        jobs=args.jobs, cache_dir=args.cache_dir,
     )
     order = list(evals)
     designs = [d.value for d in COMPARED_DESIGNS]
@@ -77,6 +96,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
     ev = evaluate_workload(
         args.name, config=config, scale=args.scale, seed=args.seed,
         max_accesses_per_core=args.accesses,
+        jobs=args.jobs, cache_dir=args.cache_dir,
     )
     print(f"{args.name}: footprint {ev.footprint_bytes / 1e6:.1f} MB, "
           f"AVR ratio {ev.avr_compression_ratio:.1f}:1, "
@@ -98,6 +118,7 @@ def cmd_ablate(args: argparse.Namespace) -> int:
     llc = run_llc_ablations(
         args.name, config=config, scale=args.scale,
         max_accesses_per_core=args.accesses,
+        jobs=args.jobs, cache_dir=args.cache_dir,
     )
     full = llc["full AVR"]
     rows = {
@@ -111,7 +132,9 @@ def cmd_ablate(args: argparse.Namespace) -> int:
     print(format_table(f"LLC ablations on {args.name} (norm. to full AVR)",
                        rows, "{:.2f}", col_order=["time", "traffic", "AMAT"]))
     print()
-    comp = run_compressor_ablations(args.name, scale=min(args.scale, 0.5))
+    comp = run_compressor_ablations(
+        args.name, scale=min(args.scale, 0.5), cache_dir=args.cache_dir,
+    )
     print(format_table(f"Compressor ablations on {args.name} data", comp,
                        "{:.2f}", col_order=["ratio", "mean_error_pct", "success_pct"]))
     return 0

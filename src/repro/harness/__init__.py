@@ -1,4 +1,13 @@
-"""Experiment harness: regenerates every table and figure."""
+"""Experiment harness: regenerates every table and figure.
+
+The heavy lifting happens in the sweep engine
+(:mod:`repro.harness.sweep`): a :class:`SweepSpec` enumerates the
+evaluation grid as independent job units, :func:`run_sweep` executes
+them serially or over a process pool, and
+:class:`~repro.harness.cache.ResultCache` memoizes job results on disk.
+:func:`evaluate_all` / :func:`evaluate_workload` /
+:func:`regenerate_all` are convenience entry points layered on top.
+"""
 
 from .ablations import (
     COMPRESSOR_ABLATIONS,
@@ -6,10 +15,12 @@ from .ablations import (
     run_compressor_ablations,
     run_llc_ablations,
 )
+from .cache import CacheStats, ResultCache, content_key
 from .experiments import (
     EVICTION_CATEGORIES,
     GEOMEAN,
     REQUEST_CATEGORIES,
+    regenerate_all,
     fig09_execution_time,
     fig10_energy,
     fig11_memory_traffic,
@@ -29,13 +40,33 @@ from .runner import (
     evaluate_all,
     evaluate_workload,
 )
+from .sweep import (
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    SweepStats,
+    run_functional_job,
+    run_sweep,
+    run_timing_job,
+)
 
 __all__ = [
     "ALL_DESIGNS",
+    "CacheStats",
     "COMPRESSOR_ABLATIONS",
     "LLC_ABLATIONS",
+    "ResultCache",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "SweepStats",
+    "content_key",
+    "regenerate_all",
     "run_compressor_ablations",
+    "run_functional_job",
     "run_llc_ablations",
+    "run_sweep",
+    "run_timing_job",
     "DesignRun",
     "EVICTION_CATEGORIES",
     "GEOMEAN",

@@ -21,10 +21,21 @@ from ..common.constants import VALUES_PER_BLOCK
 from ..common.types import CompressionMethod, Design
 from ..compression.compressor import AVRCompressor
 from ..compression.errors import relative_error
-from ..system.factory import build_system
 from ..trace.generator import generate_trace
-from ..workloads import make_workload
 from .runner import _build_layout
+from .sweep import (
+    SweepPoint,
+    _cache_lookup,
+    _execute_jobs,
+    _functional_key,
+    _make_pool,
+    _run_jobs,
+    _SerialExecutor,
+    _timing_key,
+    run_functional_job,
+    run_timing_job,
+)
+from .cache import ResultCache
 
 #: LLC-level ablation variants: label -> AVRLLC keyword overrides.
 LLC_ABLATIONS: dict[str, dict] = {
@@ -54,32 +65,74 @@ def run_llc_ablations(
     scale: float = 1.0,
     max_accesses_per_core: int = 40_000,
     variants: dict[str, dict] | None = None,
+    seed: int = 0,
+    jobs: int = 1,
+    cache_dir=None,
     **workload_kwargs,
 ) -> dict[str, AblationPoint]:
-    """Run the AVR timing system under each ablation variant."""
+    """Run the AVR timing system under each ablation variant.
+
+    Built on the sweep engine's job units: the two functional runs
+    (baseline reference, AVR) and each variant's timing replay are
+    independent jobs, fanned out over ``jobs`` workers and memoized in
+    ``cache_dir``.  The functional jobs share cache entries with
+    :func:`repro.harness.evaluate_all` sweeps of the same point, and
+    the "full AVR" variant shares its timing entry with them too.
+    """
     config = config or SystemConfig.scaled(num_cores=8)
     variants = variants if variants is not None else LLC_ABLATIONS
-    workload = make_workload(workload_name, scale=scale, **workload_kwargs)
-    reference = workload.run(Design.BASELINE)
-    avr_run = workload.run(Design.AVR)
-    layout = _build_layout(workload, avr_run)
-    trace = generate_trace(
-        workload.trace_spec(),
-        reference.memory,
-        num_cores=config.num_cores,
+    point = SweepPoint(
+        workload=workload_name,
+        scale=scale,
+        seed=seed,
         max_accesses_per_core=max_accesses_per_core,
+        workload_kwargs=tuple(sorted(workload_kwargs.items())),
     )
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    workload = point.make()
+
+    with _make_pool(jobs) as pool:
+        functional_jobs = {
+            _functional_key(point, design): (run_functional_job, point, design)
+            for design in (Design.BASELINE, Design.AVR)
+        }
+        functional, _ = _run_jobs(pool, cache, functional_jobs)
+        reference = functional[_functional_key(point, Design.BASELINE)]
+        avr_run = functional[_functional_key(point, Design.AVR)]
+
+        layout = _build_layout(workload, avr_run)
+        timing: dict[str, object] = {}
+        timing_jobs: dict[str, tuple] = {}
+        trace = None
+        for options in variants.values():
+            key = _timing_key(point, Design.AVR, config, options)
+            cached = _cache_lookup(cache, key)
+            if cached is not None:
+                timing[key] = cached
+                continue
+            if trace is None:
+                trace = generate_trace(
+                    workload.trace_spec(),
+                    reference.memory,
+                    num_cores=config.num_cores,
+                    max_accesses_per_core=max_accesses_per_core,
+                    seed=point.seed,
+                )
+            timing_jobs[key] = (
+                run_timing_job,
+                Design.AVR,
+                config,
+                layout,
+                trace,
+                reference.memory.footprint_bytes,
+                1.0,
+                options,
+            )
+        timing.update(_execute_jobs(pool, cache, timing_jobs))
 
     results: dict[str, AblationPoint] = {}
     for label, options in variants.items():
-        system = build_system(
-            Design.AVR,
-            config,
-            layout,
-            reference.memory.footprint_bytes,
-            avr_options=options,
-        )
-        res = system.run(trace)
+        res = timing[_timing_key(point, Design.AVR, config, options)]
         results[label] = AblationPoint(
             cycles=res.cycles,
             total_bytes=res.total_bytes,
@@ -103,13 +156,30 @@ def run_compressor_ablations(
     workload_name: str = "orbit",
     scale: float = 0.5,
     variants: dict[str, dict] | None = None,
+    seed: int = 0,
+    cache_dir=None,
     **workload_kwargs,
 ) -> dict[str, dict[str, float]]:
     """Compression ratio / mean error per compressor variant, measured
-    on the workload's real (baseline-run) approximable data."""
+    on the workload's real (baseline-run) approximable data.
+
+    The baseline run is the sweep engine's functional job unit, so with
+    ``cache_dir`` it is shared with any other sweep of the same point.
+    """
     variants = variants if variants is not None else COMPRESSOR_ABLATIONS
-    workload = make_workload(workload_name, scale=scale, **workload_kwargs)
-    reference = workload.run(Design.BASELINE)
+    point = SweepPoint(
+        workload=workload_name,
+        scale=scale,
+        seed=seed,
+        workload_kwargs=tuple(sorted(workload_kwargs.items())),
+    )
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    key = _functional_key(point, Design.BASELINE)
+    functional, _ = _run_jobs(
+        _SerialExecutor(), cache, {key: (run_functional_job, point, Design.BASELINE)}
+    )
+    reference = functional[key]
+    workload = point.make()
 
     arrays = [
         region.array.ravel()

@@ -1,0 +1,134 @@
+"""Content-addressed on-disk cache for sweep job results.
+
+Every sweep job (a functional round-trip or a timing replay) is a pure
+function of its spec: the :class:`~repro.harness.sweep.SweepPoint`, the
+design, the :class:`~repro.common.config.SystemConfig` and the package
+version.  :func:`content_key` folds those inputs into a stable SHA-256
+digest, and :class:`ResultCache` maps digests to pickled results under
+a cache directory, so re-runs and ablation sweeps skip already-computed
+points.
+
+Keys are built from a *canonical text form* of the inputs (dataclasses
+by field, enums by name, dicts sorted) rather than from ``pickle``
+bytes, so the digest is stable across interpreter runs and does not
+depend on pickle protocol details.  Results themselves are stored with
+``pickle`` — numpy arrays round-trip exactly, which the sweep engine's
+bit-identical guarantee relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CacheStats", "ResultCache", "content_key"]
+
+
+def _canonical(obj: Any) -> str:
+    """Deterministic text form of a job-spec value.
+
+    Supports the types that appear in sweep specs: dataclasses, enums,
+    containers, and scalars.  Unknown objects raise ``TypeError`` so a
+    new un-canonicalizable spec field fails loudly instead of silently
+    hashing by ``repr`` identity.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={_canonical(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__qualname__}({fields})"
+    if isinstance(obj, Enum):
+        return f"{type(obj).__qualname__}.{obj.name}"
+    if isinstance(obj, dict):
+        items = ",".join(
+            f"{_canonical(k)}:{_canonical(v)}" for k, v in sorted(obj.items())
+        )
+        return "{" + items + "}"
+    if isinstance(obj, (tuple, list)):
+        return "(" + ",".join(_canonical(v) for v in obj) + ")"
+    if isinstance(obj, float):
+        return obj.hex()  # exact: no decimal rounding ambiguity
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return repr(obj)
+    raise TypeError(f"cannot build a cache key from {type(obj).__name__}: {obj!r}")
+
+
+def content_key(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical form of ``parts``."""
+    text = "|".join(_canonical(p) for p in parts)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Pickle-backed key/value store under ``cache_dir``.
+
+    Entries are sharded into 256 subdirectories by digest prefix and
+    written atomically (temp file + rename), so concurrent sweeps
+    sharing a cache directory never observe torn entries.  Unreadable
+    or truncated entries are treated as misses.
+    """
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.root = Path(cache_dir)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise NotADirectoryError(
+                f"cache dir {self.root} exists but is not a directory"
+            ) from exc
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return the cached value for ``key``, or ``default``."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (atomic replace)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

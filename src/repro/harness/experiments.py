@@ -54,6 +54,7 @@ _EVICTION_STATS = {
 
 
 def _geomean(values: list[float]) -> float:
+    """Geometric mean over the positive entries (0.0 if none)."""
     arr = np.asarray([v for v in values if v > 0], dtype=np.float64)
     return float(np.exp(np.log(arr).mean())) if arr.size else 0.0
 
@@ -61,6 +62,7 @@ def _geomean(values: list[float]) -> float:
 def _normalized_metric(
     evals: dict[str, WorkloadEvaluation], metric: str
 ) -> dict[str, dict[str, float]]:
+    """Per-workload design/baseline ratios plus a geomean column."""
     out: dict[str, dict[str, float]] = {}
     for name, ev in evals.items():
         out[name] = {
@@ -73,6 +75,52 @@ def _normalized_metric(
         d: _geomean([out[w][d] for w in evals if d in out[w]]) for d in designs
     }
     return out
+
+
+# ----------------------------------------------------------------------
+# One-call regeneration (sweep-powered)
+# ----------------------------------------------------------------------
+def regenerate_all(
+    names: tuple[str, ...] | None = None,
+    config: SystemConfig | None = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    max_accesses_per_core: int = 50_000,
+    jobs: int = 1,
+    cache_dir=None,
+) -> dict[str, object]:
+    """Regenerate every paper artifact in one call.
+
+    Runs the full workloads x designs grid through the sweep engine
+    (``jobs`` workers, optional on-disk ``cache_dir``) and returns a
+    mapping from artifact name (``"table3"`` ... ``"fig15"``,
+    ``"overheads"``) to the corresponding rows/series, plus the raw
+    ``"evaluations"`` for custom post-processing.
+    """
+    from .runner import evaluate_all
+
+    evals = evaluate_all(
+        names=names,
+        config=config,
+        scale=scale,
+        seed=seed,
+        max_accesses_per_core=max_accesses_per_core,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    return {
+        "evaluations": evals,
+        "table3": table3_output_error(evals),
+        "table4": table4_compression(evals),
+        "fig09": fig09_execution_time(evals),
+        "fig10": fig10_energy(evals),
+        "fig11": fig11_memory_traffic(evals),
+        "fig12": fig12_amat(evals),
+        "fig13": fig13_mpki(evals),
+        "fig14": fig14_llc_requests(evals),
+        "fig15": fig15_llc_evictions(evals),
+        "overheads": hardware_overheads(),  # §4.2 uses the paper config
+    }
 
 
 # ----------------------------------------------------------------------

@@ -6,6 +6,13 @@ factors, iteration counts), builds the timing layer's address layout
 from the measured per-block sizes, replays the workload's synthetic
 trace through each design's timing system, and bundles everything the
 tables and figures need.
+
+Execution is delegated to the sweep engine
+(:mod:`repro.harness.sweep`), which decomposes each workload into
+independent functional and timing *job units* that can run serially
+in-process, fan out over a process pool, or be served from the on-disk
+result cache — all three paths produce bit-identical
+:class:`WorkloadEvaluation` objects.
 """
 
 from __future__ import annotations
@@ -17,11 +24,8 @@ import numpy as np
 from ..common.config import SystemConfig
 from ..common.constants import BLOCK_CACHELINES
 from ..common.types import COMPARED_DESIGNS, Design
-from ..system.factory import build_system
 from ..system.layout import AddressLayout
 from ..system.simulator import SimResult
-from ..trace.generator import generate_trace
-from ..workloads import make_workload
 from ..workloads.base import Workload, WorkloadResult
 
 #: design points evaluated by default (baseline + the four compared)
@@ -124,61 +128,31 @@ def evaluate_workload(
     seed: int = 0,
     designs: tuple[Design, ...] = ALL_DESIGNS,
     max_accesses_per_core: int = 50_000,
+    thresholds=None,
+    jobs: int = 1,
+    cache_dir=None,
     **workload_kwargs,
 ) -> WorkloadEvaluation:
-    """Run one workload through the functional and timing layers."""
-    config = config or SystemConfig.scaled(num_cores=8)
-    workload = make_workload(name, scale=scale, seed=seed, **workload_kwargs)
+    """Run one workload through the functional and timing layers.
 
-    # --- functional layer ------------------------------------------------
-    reference = workload.run(Design.BASELINE)
-    functional: dict[Design, WorkloadResult] = {Design.BASELINE: reference}
-    for design in designs:
-        if design in (Design.BASELINE, Design.ZERO_AVR):
-            continue  # ZeroAVR approximates nothing: reuse the reference
-        functional[design] = workload.run(design)
-    avr_run = functional.get(Design.AVR) or workload.run(Design.AVR)
+    A convenience wrapper around :func:`repro.harness.sweep.run_sweep`
+    for a single-point grid.  ``jobs`` parallelizes across this
+    workload's designs; ``cache_dir`` reuses previously computed job
+    results (see :mod:`repro.harness.cache`).
+    """
+    from .sweep import SweepSpec, run_sweep
 
-    layout = _build_layout(workload, avr_run)
-    trace = generate_trace(
-        workload.trace_spec(),
-        reference.memory,
-        num_cores=config.num_cores,
+    spec = SweepSpec(
+        workloads=(name,),
+        designs=designs,
+        config=config,
+        scales=(scale,),
+        seeds=(seed,),
+        thresholds=(thresholds,),
         max_accesses_per_core=max_accesses_per_core,
-        seed=seed,
+        workload_kwargs=tuple(sorted(workload_kwargs.items())),
     )
-
-    evaluation = WorkloadEvaluation(
-        name=name,
-        baseline_iterations=reference.iterations,
-        footprint_bytes=reference.memory.footprint_bytes,
-        timing_approx_bytes=layout.approx_bytes,
-        avr_compression_ratio=layout.mean_compression_ratio(),
-    )
-
-    # --- timing layer -----------------------------------------------------
-    for design in designs:
-        func = functional.get(design, reference)
-        dedup = func.memory.dedup_factor() if design == Design.DGANGER else 1.0
-        system = build_system(
-            design, config, layout, evaluation.footprint_bytes, dedup
-        )
-        timing = system.run(trace)
-        timing.iteration_factor = func.iterations / max(reference.iterations, 1)
-        error = (
-            0.0
-            if design in (Design.BASELINE, Design.ZERO_AVR)
-            else workload.output_error(func, reference)
-        )
-        evaluation.runs[design] = DesignRun(
-            design=design,
-            output_error=error,
-            iterations=func.iterations,
-            compression_ratio=func.memory.compression_ratio(),
-            dedup_factor=dedup,
-            timing=timing,
-        )
-    return evaluation
+    return run_sweep(spec, jobs=jobs, cache_dir=cache_dir).by_workload()[name]
 
 
 def evaluate_all(
@@ -188,19 +162,25 @@ def evaluate_all(
     seed: int = 0,
     designs: tuple[Design, ...] = ALL_DESIGNS,
     max_accesses_per_core: int = 50_000,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> dict[str, WorkloadEvaluation]:
-    """Evaluate every workload (paper order)."""
-    from ..workloads import WORKLOADS
+    """Evaluate every workload (paper order).
 
-    names = names or tuple(WORKLOADS)
-    return {
-        name: evaluate_workload(
-            name,
-            config=config,
-            scale=scale,
-            seed=seed,
-            designs=designs,
-            max_accesses_per_core=max_accesses_per_core,
-        )
-        for name in names
-    }
+    Built on the sweep engine: ``jobs`` fans the grid's functional and
+    timing job units out over a process pool (``1`` keeps the fully
+    serial, in-process path), ``cache_dir`` enables the on-disk result
+    cache so repeated evaluations skip completed points.
+    """
+    from ..workloads import WORKLOADS
+    from .sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        workloads=names or tuple(WORKLOADS),
+        designs=designs,
+        config=config,
+        scales=(scale,),
+        seeds=(seed,),
+        max_accesses_per_core=max_accesses_per_core,
+    )
+    return run_sweep(spec, jobs=jobs, cache_dir=cache_dir).by_workload()

@@ -1,0 +1,481 @@
+"""Parallel sweep engine for the evaluation harness.
+
+The paper's evaluation (Tables 3-4, Figures 9-15) is a grid of
+workloads x designs x error thresholds x seeds.  This module treats
+that grid as a first-class object — a :class:`SweepSpec` enumerating
+independent, picklable :class:`SweepPoint` jobs — and fans it out over
+a ``concurrent.futures.ProcessPoolExecutor`` via :func:`run_sweep`.
+
+Each grid point decomposes into two kinds of *job units*, both pure
+functions of their spec (and therefore safe to execute in any process
+and to cache on disk):
+
+* :func:`run_functional_job` — one workload's functional round-trip
+  under one design (output error, compression ratios, iteration
+  counts).  The ``Design.BASELINE`` reference run is its own job so
+  that every design of a point shares one reference result, exactly as
+  the serial path shares ``functional[...]``.
+* :func:`run_timing_job` — one design's trace replay through the
+  timing system, given the layout and trace derived from the
+  functional results.
+
+``run_sweep(spec, jobs=1)`` executes the same job units in-process in
+deterministic order, so the serial and parallel paths are one code
+path and their results are bit-identical.  With a ``cache_dir``, job
+results are memoized by a content hash of (spec point, design,
+``SystemConfig``, package version) — see :mod:`repro.harness.cache` —
+so re-runs and overlapping ablation sweeps skip already-computed
+points entirely.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable
+
+from .. import __version__
+from ..common.config import SystemConfig
+from ..common.types import Design, ErrorThresholds
+from ..system.factory import build_system
+from ..system.layout import AddressLayout
+from ..system.simulator import SimResult
+from ..trace.generator import GeneratedTrace, generate_trace
+from ..workloads import WORKLOADS, make_workload
+from ..workloads.base import Workload, WorkloadResult
+from .cache import ResultCache, content_key
+from .runner import ALL_DESIGNS, DesignRun, WorkloadEvaluation, _build_layout
+
+__all__ = [
+    "SweepPoint",
+    "SweepSpec",
+    "SweepStats",
+    "SweepResult",
+    "functional_designs",
+    "run_functional_job",
+    "run_timing_job",
+    "run_sweep",
+]
+
+
+# ----------------------------------------------------------------------
+# Spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: a workload instance the engine evaluates.
+
+    Frozen and hashable so it can key result dictionaries, and built
+    only from picklable scalars so job arguments cross process
+    boundaries.  ``workload_kwargs`` holds extra constructor arguments
+    (e.g. ``(("iterations", 12),)``) as a sorted tuple of pairs.
+    """
+
+    workload: str
+    scale: float = 1.0
+    seed: int = 0
+    #: per-point override of the workload's default error thresholds
+    thresholds: ErrorThresholds | None = None
+    max_accesses_per_core: int = 50_000
+    workload_kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        overlap = {"scale", "seed"} & {k for k, _ in self.workload_kwargs}
+        if overlap:
+            raise ValueError(
+                f"{sorted(overlap)} must be set via the SweepPoint fields, "
+                "not workload_kwargs"
+            )
+
+    def make(self) -> Workload:
+        """Instantiate the workload this point describes."""
+        return make_workload(
+            self.workload,
+            scale=self.scale,
+            seed=self.seed,
+            **dict(self.workload_kwargs),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The full evaluation grid, as a serializable value.
+
+    ``points()`` enumerates the cartesian product of workloads x
+    scales x seeds x thresholds in deterministic (workload-major)
+    order; every point is evaluated under every design in ``designs``.
+    An empty ``workloads`` tuple means "all seven paper workloads".
+    """
+
+    workloads: tuple[str, ...] = ()
+    designs: tuple[Design, ...] = ALL_DESIGNS
+    config: SystemConfig | None = None
+    scales: tuple[float, ...] = (1.0,)
+    seeds: tuple[int, ...] = (0,)
+    thresholds: tuple[ErrorThresholds | None, ...] = (None,)
+    max_accesses_per_core: int = 50_000
+    workload_kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def resolved_config(self) -> SystemConfig:
+        return self.config or SystemConfig.scaled(num_cores=8)
+
+    def resolved_workloads(self) -> tuple[str, ...]:
+        return self.workloads or tuple(WORKLOADS)
+
+    def points(self) -> tuple[SweepPoint, ...]:
+        """Enumerate every grid point as an independent job spec."""
+        return tuple(
+            SweepPoint(
+                workload=name,
+                scale=scale,
+                seed=seed,
+                thresholds=thresholds,
+                max_accesses_per_core=self.max_accesses_per_core,
+                workload_kwargs=self.workload_kwargs,
+            )
+            for name, scale, seed, thresholds in itertools.product(
+                self.resolved_workloads(), self.scales, self.seeds, self.thresholds
+            )
+        )
+
+
+def functional_designs(designs: tuple[Design, ...]) -> tuple[Design, ...]:
+    """Designs whose functional layer actually executes for a point.
+
+    ``BASELINE`` is always needed (it is the reference every other
+    design's error and iteration factor are measured against) and
+    ``AVR`` is always needed (its measured block sizes build the timing
+    layout).  ``ZERO_AVR`` approximates nothing and reuses the
+    reference, so it never appears here.
+    """
+    needed = [Design.BASELINE]
+    for design in designs:
+        if design in (Design.BASELINE, Design.ZERO_AVR):
+            continue
+        if design not in needed:
+            needed.append(design)
+    if Design.AVR not in needed:
+        needed.append(Design.AVR)
+    return tuple(needed)
+
+
+# ----------------------------------------------------------------------
+# Job units (module-level so they pickle into worker processes)
+# ----------------------------------------------------------------------
+def run_functional_job(point: SweepPoint, design: Design) -> WorkloadResult:
+    """Job unit: one functional round-trip of one design point.
+
+    Pure function of ``(point, design)``: the workload is freshly
+    instantiated from the point's seed, so the result is bit-identical
+    wherever the job runs.  The baseline reference ignores threshold
+    overrides (it approximates nothing), which lets threshold-ablation
+    sweeps share one cached reference run.
+    """
+    workload = point.make()
+    thresholds = None if design == Design.BASELINE else point.thresholds
+    return workload.run(design, thresholds=thresholds)
+
+
+def run_timing_job(
+    design: Design,
+    config: SystemConfig,
+    layout: AddressLayout,
+    trace: GeneratedTrace,
+    footprint_bytes: int,
+    dedup_factor: float = 1.0,
+    avr_options: dict | None = None,
+) -> SimResult:
+    """Job unit: one design's timing replay of one point's trace.
+
+    ``layout`` and ``trace`` are derived deterministically from the
+    point's functional results, so this too is a pure function of its
+    arguments.  ``avr_options`` forwards LLC ablation flags.
+    """
+    system = build_system(
+        design, config, layout, footprint_bytes, dedup_factor,
+        avr_options=avr_options,
+    )
+    return system.run(trace)
+
+
+def _functional_key(point: SweepPoint, design: Design) -> str:
+    """Cache key of a functional job.
+
+    Normalized so equivalent jobs share an entry: the trace budget
+    (``max_accesses_per_core``) does not affect functional results, and
+    thresholds do not affect the baseline reference.
+    """
+    normalized = replace(
+        point,
+        max_accesses_per_core=0,
+        thresholds=None if design == Design.BASELINE else point.thresholds,
+    )
+    return content_key("functional", __version__, normalized, design)
+
+
+def _timing_key(
+    point: SweepPoint,
+    design: Design,
+    config: SystemConfig,
+    avr_options: dict | None = None,
+) -> str:
+    """Cache key of a timing job (config-dependent, unlike functional)."""
+    return content_key(
+        "timing", __version__, point, design, config, avr_options or {}
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+class _SerialFuture:
+    """Future-alike wrapping an already-computed value."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Any) -> None:
+        self._value = value
+
+    def result(self) -> Any:
+        return self._value
+
+
+class _SerialExecutor:
+    """Drop-in executor that runs jobs eagerly in-process.
+
+    This is the ``jobs=1`` path: same submission order, same job
+    functions, no pickling — the determinism anchor the parallel path
+    is tested against.
+    """
+
+    def submit(self, fn: Callable, /, *args: Any, **kwargs: Any) -> _SerialFuture:
+        return _SerialFuture(fn(*args, **kwargs))
+
+    def __enter__(self) -> "_SerialExecutor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+@dataclass
+class SweepStats:
+    """What one :func:`run_sweep` call actually executed vs. reused."""
+
+    functional_executed: int = 0
+    timing_executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def executed(self) -> int:
+        """Total jobs that ran (i.e. were not served from the cache)."""
+        return self.functional_executed + self.timing_executed
+
+
+@dataclass
+class SweepResult:
+    """Evaluations for every grid point, plus execution accounting."""
+
+    spec: SweepSpec
+    evaluations: dict[SweepPoint, WorkloadEvaluation] = field(default_factory=dict)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+    def __getitem__(self, point: SweepPoint) -> WorkloadEvaluation:
+        return self.evaluations[point]
+
+    def by_workload(self) -> dict[str, WorkloadEvaluation]:
+        """Collapse to ``{workload name: evaluation}``.
+
+        Only valid for a singleton grid (one scale, seed and threshold
+        setting), where workload names identify points uniquely —
+        exactly the shape :func:`repro.harness.evaluate_all` runs.
+        """
+        names = [p.workload for p in self.evaluations]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                "sweep grid has multiple points per workload; "
+                "index evaluations by SweepPoint instead"
+            )
+        return {p.workload: ev for p, ev in self.evaluations.items()}
+
+
+def _cache_lookup(
+    cache: ResultCache | None, key: str, stats: SweepStats | None = None
+) -> Any:
+    """Consult the cache for ``key``, with hit/miss accounting."""
+    if cache is None:
+        return None
+    value = cache.get(key)
+    if stats is not None:
+        if value is not None:
+            stats.cache_hits += 1
+        else:
+            stats.cache_misses += 1
+    return value
+
+
+def _execute_jobs(
+    pool: Any,
+    cache: ResultCache | None,
+    jobs: dict[str, tuple],
+    stats: SweepStats | None = None,
+) -> dict[str, Any]:
+    """Submit ``{key: (fn, *args)}``, collect results, store them.
+
+    Cache stores happen only in the parent process, so workers stay
+    free of filesystem coordination.
+    """
+    futures = {key: pool.submit(fn, *args) for key, (fn, *args) in jobs.items()}
+    results: dict[str, Any] = {}
+    for key, future in futures.items():
+        value = future.result()
+        if cache is not None:
+            cache.put(key, value)
+        results[key] = value
+    return results
+
+
+def _run_jobs(
+    pool: Any,
+    cache: ResultCache | None,
+    jobs: dict[str, tuple],
+    stats: SweepStats | None = None,
+) -> tuple[dict[str, Any], int]:
+    """Execute ``{key: (fn, *args)}``, consulting the cache first.
+
+    Returns the results by key and the number of jobs actually
+    executed (i.e. not served from the cache).
+    """
+    results: dict[str, Any] = {}
+    pending: dict[str, tuple] = {}
+    for key, job in jobs.items():
+        cached = _cache_lookup(cache, key, stats)
+        if cached is not None:
+            results[key] = cached
+        else:
+            pending[key] = job
+    results.update(_execute_jobs(pool, cache, pending, stats))
+    return results, len(pending)
+
+
+def _make_pool(jobs: int) -> Any:
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return _SerialExecutor()
+    return ProcessPoolExecutor(max_workers=jobs)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+) -> SweepResult:
+    """Evaluate every point of ``spec`` and reassemble the results.
+
+    ``jobs=1`` runs every job unit in-process (the deterministic serial
+    path); ``jobs>1`` fans them out over a process pool.  Both paths
+    submit the same jobs in the same order and produce bit-identical
+    :class:`~repro.harness.runner.WorkloadEvaluation` objects.  With
+    ``cache_dir`` set, job results are reused across runs; a warm cache
+    re-executes nothing (``result.stats.executed == 0``).
+    """
+    config = spec.resolved_config()
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    points = spec.points()
+    needed_functional = functional_designs(spec.designs)
+    stats = SweepStats()
+
+    with _make_pool(jobs) as pool:
+        # --- stage 1: functional jobs, deduplicated by content key ----
+        functional_jobs: dict[str, tuple] = {}
+        for point in points:
+            for design in needed_functional:
+                key = _functional_key(point, design)
+                functional_jobs.setdefault(key, (run_functional_job, point, design))
+        functional, executed = _run_jobs(pool, cache, functional_jobs, stats)
+        stats.functional_executed += executed
+
+        # --- stage 2: per-point layout + trace, then timing jobs ------
+        # The trace is only built for points with at least one timing
+        # cache miss: a warm re-run reassembles everything without
+        # regenerating a single address stream.
+        contexts: list[tuple[SweepPoint, Workload, WorkloadResult, AddressLayout]] = []
+        timing: dict[str, SimResult] = {}
+        timing_jobs: dict[str, tuple] = {}
+        dedups: dict[tuple[SweepPoint, Design], float] = {}
+        for point in points:
+            workload = point.make()
+            reference = functional[_functional_key(point, Design.BASELINE)]
+            avr_run = functional[_functional_key(point, Design.AVR)]
+            layout = _build_layout(workload, avr_run)
+            contexts.append((point, workload, reference, layout))
+            trace = None
+            for design in spec.designs:
+                func = functional.get(_functional_key(point, design), reference)
+                dedup = (
+                    func.memory.dedup_factor()
+                    if design == Design.DGANGER
+                    else 1.0
+                )
+                dedups[(point, design)] = dedup
+                key = _timing_key(point, design, config)
+                cached = _cache_lookup(cache, key, stats)
+                if cached is not None:
+                    timing[key] = cached
+                    continue
+                if trace is None:
+                    trace = generate_trace(
+                        workload.trace_spec(),
+                        reference.memory,
+                        num_cores=config.num_cores,
+                        max_accesses_per_core=point.max_accesses_per_core,
+                        seed=point.seed,
+                    )
+                timing_jobs[key] = (
+                    run_timing_job,
+                    design,
+                    config,
+                    layout,
+                    trace,
+                    reference.memory.footprint_bytes,
+                    dedup,
+                )
+        timing.update(_execute_jobs(pool, cache, timing_jobs, stats))
+        stats.timing_executed += len(timing_jobs)
+
+    # --- stage 3: reassemble WorkloadEvaluations ----------------------
+    result = SweepResult(spec=spec, stats=stats)
+    for point, workload, reference, layout in contexts:
+        evaluation = WorkloadEvaluation(
+            name=point.workload,
+            baseline_iterations=reference.iterations,
+            footprint_bytes=reference.memory.footprint_bytes,
+            timing_approx_bytes=layout.approx_bytes,
+            avr_compression_ratio=layout.mean_compression_ratio(),
+        )
+        for design in spec.designs:
+            func = functional.get(_functional_key(point, design), reference)
+            sim = timing[_timing_key(point, design, config)]
+            sim.iteration_factor = func.iterations / max(reference.iterations, 1)
+            error = (
+                0.0
+                if design in (Design.BASELINE, Design.ZERO_AVR)
+                else workload.output_error(func, reference)
+            )
+            evaluation.runs[design] = DesignRun(
+                design=design,
+                output_error=error,
+                iterations=func.iterations,
+                compression_ratio=func.memory.compression_ratio(),
+                dedup_factor=dedups[(point, design)],
+                timing=sim,
+            )
+        result.evaluations[point] = evaluation
+    return result

@@ -86,6 +86,18 @@ class TimingSystem:
         self.dram = dram
 
     def run(self, trace: GeneratedTrace) -> SimResult:
+        """Replay ``trace`` and return the run's aggregate metrics.
+
+        Cores execute their streams in fixed-size interleaved chunks
+        (see :data:`INTERLEAVE_CHUNK`) so shared-resource contention —
+        the LLC, the AVR module's single DBUF, DRAM banks — is modeled
+        across cores.  The returned cycle count is the slower of the
+        latency-bound and bandwidth-bound estimates; callers normalize
+        against a baseline run of the same trace.
+
+        A ``TimingSystem`` accumulates state in its LLC and DRAM
+        models, so each instance should run exactly one trace.
+        """
         config = self.config
         num_cores = len(trace.cores)
         cores = [IntervalCore(config.core) for _ in range(num_cores)]
@@ -161,6 +173,7 @@ class TimingSystem:
         seconds: float,
         num_cores: int,
     ) -> EnergyBreakdown:
+        """Fold per-component event counts into the Figure 10 breakdown."""
         llc_stats = self.llc.stats
         dram_lines = self.dram.total_bytes / 64.0
         compressor_ops = llc_stats.get("compressions", 0) + llc_stats.get(

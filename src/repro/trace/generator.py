@@ -81,7 +81,17 @@ def generate_trace(
     max_accesses_per_core: int = 300_000,
     seed: int = 0,
 ) -> GeneratedTrace:
-    """Build per-core traces for a workload's main loop."""
+    """Build per-core traces for a workload's main loop.
+
+    Deterministic in ``(spec, mem layout, num_cores,
+    max_accesses_per_core, seed)``: the only randomness is the
+    seeded per-access gap jitter that drifts cores out of lockstep.
+    The sweep engine relies on this determinism to rebuild identical
+    traces in the parent process regardless of where the functional
+    jobs ran.  When the spec's full iteration count would exceed the
+    per-core access budget, a prefix of iterations is generated and
+    recorded in the result's ``scale_factor``.
+    """
     # Cost of one iteration for one core (accesses), to budget iterations.
     per_iter = 0
     for phase in spec.phases:
