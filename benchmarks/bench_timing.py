@@ -1,0 +1,128 @@
+"""Benchmark: vectorized timing engine vs the reference replay loop.
+
+Runs one workload's trace through both engines under each design,
+verifies the equivalence contract (every ``SimResult`` metric
+bit-identical), and reports the wall-clock speedup.
+
+Default mode replays the largest seed workload trace (kmeans: 393k
+accesses at the default 50k/core budget on 8 cores).  ``--check`` is
+the CI mode: a small trace, every design, equivalence enforced — it
+exits nonzero on any metric divergence, and prints nothing slower than
+a smoke job should be.
+
+Usage::
+
+    python benchmarks/bench_timing.py                  # speedup report
+    python benchmarks/bench_timing.py --check          # CI equivalence
+    python benchmarks/bench_timing.py --min-speedup 3  # enforce >= 3x
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.common.config import SystemConfig
+from repro.common.types import Design
+from repro.harness.runner import _build_layout
+from repro.harness.sweep import SweepPoint, run_functional_job
+from repro.system.factory import build_system
+from repro.trace.generator import generate_trace
+from repro.workloads import WORKLOADS
+
+#: the largest seed trace at the default per-core access budget
+DEFAULT_WORKLOAD = "kmeans"
+BENCH_DESIGNS = (Design.BASELINE, Design.TRUNCATE, Design.DGANGER, Design.AVR)
+
+
+def build_context(workload_name: str, scale: float, cores: int, accesses: int, seed: int):
+    """Functional layer once, then the layout + trace both engines share."""
+    point = SweepPoint(
+        workload=workload_name, scale=scale, seed=seed,
+        max_accesses_per_core=accesses,
+    )
+    workload = point.make()
+    reference = run_functional_job(point, Design.BASELINE)
+    avr = run_functional_job(point, Design.AVR)
+    layout = _build_layout(workload, avr)
+    config = SystemConfig.scaled(num_cores=cores)
+    trace = generate_trace(
+        workload.trace_spec(), reference.memory,
+        num_cores=cores, max_accesses_per_core=accesses, seed=seed,
+    )
+    return config, layout, trace, reference.memory.footprint_bytes
+
+
+def time_engine(design, config, layout, trace, footprint, engine: str):
+    system = build_system(design, config, layout, footprint)
+    start = time.perf_counter()
+    result = system.run(trace, engine=engine)
+    return time.perf_counter() - start, result
+
+
+def compare(design, config, layout, trace, footprint):
+    """Time both engines on ``design``; returns (ref_s, vec_s, diffs)."""
+    ref_s, ref = time_engine(design, config, layout, trace, footprint, "reference")
+    vec_s, vec = time_engine(design, config, layout, trace, footprint, "vectorized")
+    return ref_s, vec_s, ref.metric_diffs(vec)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default=DEFAULT_WORKLOAD,
+                        choices=sorted(WORKLOADS))
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--cores", type=int, default=8)
+    parser.add_argument("--accesses", type=int, default=50_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the best per-design speedup "
+                             "reaches this factor")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: small trace, all designs, "
+                             "equivalence enforced")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        scale, cores, accesses = min(args.scale, 0.15), 2, min(args.accesses, 4_000)
+        designs = tuple(Design)
+    else:
+        scale, cores, accesses = args.scale, args.cores, args.accesses
+        designs = BENCH_DESIGNS
+
+    print(f"workload={args.workload} scale={scale} cores={cores} "
+          f"accesses/core={accesses}", flush=True)
+    config, layout, trace, footprint = build_context(
+        args.workload, scale, cores, accesses, args.seed
+    )
+    print(f"trace: {trace.total_accesses} accesses total", flush=True)
+
+    # Warm numpy's kernels so the first timed run is not penalized.
+    time_engine(Design.BASELINE, config, layout, trace, footprint, "vectorized")
+
+    failures = 0
+    best = 0.0
+    print(f"{'design':>9} {'reference':>10} {'vectorized':>11} "
+          f"{'speedup':>8}  identical")
+    for design in designs:
+        ref_s, vec_s, diffs = compare(design, config, layout, trace, footprint)
+        speedup = ref_s / vec_s if vec_s else float("inf")
+        best = max(best, speedup)
+        ok = not diffs
+        failures += not ok
+        print(f"{design.value:>9} {ref_s:9.2f}s {vec_s:10.2f}s "
+              f"{speedup:7.2f}x  {'yes' if ok else f'NO {diffs}'}", flush=True)
+
+    if failures:
+        print(f"FAIL: {failures} design(s) diverged between engines")
+        return 1
+    if args.min_speedup is not None and best < args.min_speedup:
+        print(f"FAIL: best speedup {best:.2f}x < required {args.min_speedup}x")
+        return 1
+    print("engines agree" + ("" if args.check else f"; best speedup {best:.2f}x"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

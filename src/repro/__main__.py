@@ -9,8 +9,11 @@ Commands:
 
 All simulation commands accept ``--jobs N`` to fan the evaluation
 grid's job units out over ``N`` worker processes (``1`` = serial,
-bit-identical to parallel runs) and ``--cache-dir PATH`` to memoize
-job results on disk so repeated runs skip completed points.
+bit-identical to parallel runs), ``--cache-dir PATH`` to memoize job
+results on disk so repeated runs skip completed points, and
+``--engine {vectorized,reference}`` to select the timing-replay
+implementation (the batched fast path and the reference loop produce
+bit-identical results).
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import sys
 
 from .common.config import SystemConfig
 from .common.types import COMPARED_DESIGNS, Design
+from .system.simulator import ENGINES
 from .harness import (
     evaluate_all,
     evaluate_workload,
@@ -59,6 +63,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="PATH",
                         help="on-disk result cache; re-runs skip "
                              "already-computed sweep points")
+    parser.add_argument("--engine", choices=ENGINES, default="vectorized",
+                        help="timing-replay engine: the batched fast "
+                             "path (default) or the reference "
+                             "access-at-a-time loop; results are "
+                             "bit-identical")
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -67,7 +76,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     evals = evaluate_all(
         names=names, config=config, scale=args.scale, seed=args.seed,
         max_accesses_per_core=args.accesses,
-        jobs=args.jobs, cache_dir=args.cache_dir,
+        jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
     )
     order = list(evals)
     designs = [d.value for d in COMPARED_DESIGNS]
@@ -96,7 +105,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
     ev = evaluate_workload(
         args.name, config=config, scale=args.scale, seed=args.seed,
         max_accesses_per_core=args.accesses,
-        jobs=args.jobs, cache_dir=args.cache_dir,
+        jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
     )
     print(f"{args.name}: footprint {ev.footprint_bytes / 1e6:.1f} MB, "
           f"AVR ratio {ev.avr_compression_ratio:.1f}:1, "
@@ -118,7 +127,7 @@ def cmd_ablate(args: argparse.Namespace) -> int:
     llc = run_llc_ablations(
         args.name, config=config, scale=args.scale,
         max_accesses_per_core=args.accesses,
-        jobs=args.jobs, cache_dir=args.cache_dir,
+        jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
     )
     full = llc["full AVR"]
     rows = {

@@ -88,6 +88,15 @@ class SetAssocCache:
         cset[line] = dirty
         return victim
 
+    def lru_state(self) -> list[list[tuple[int, bool]]]:
+        """Per-set ``[(line, dirty)]`` in LRU→MRU order.
+
+        The contract the batched matrix model
+        (:class:`repro.cache.array_lru.BatchedLRUMatrix`) must
+        reproduce; used by the differential tests.
+        """
+        return [list(cset.items()) for cset in self._sets]
+
     @property
     def accesses(self) -> int:
         return self.hits + self.misses

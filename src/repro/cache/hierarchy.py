@@ -1,8 +1,11 @@
 """Private per-core cache stack (L1 + L2).
 
 Filters the core's access stream before it reaches the shared LLC.
-Dirty victims cascade outward: an L1 victim is installed in L2, and a
-dirty L2 victim is handed to the LLC layer by the caller.
+Victims cascade outward: every L1 victim — clean or dirty — is
+installed in L2 (an exclusive-style victim fill that preserves the
+dirty flag), and a dirty L2 victim is handed to the LLC layer by the
+caller.  Clean L2 victims are simply dropped: the LLC already holds
+(or can refetch) their data.
 """
 
 from __future__ import annotations
@@ -30,9 +33,12 @@ class PrivateCaches:
         latency = self.l1.latency
         if hit:
             return latency, False, writebacks
-        if victim is not None and victim[1]:
-            # Dirty L1 victim falls into L2.
-            l2_victim = self.l2.insert(victim[0], dirty=True)
+        if victim is not None:
+            # Every L1 victim falls into L2, keeping its dirty flag.
+            # (Installing only dirty victims would make clean lines
+            # vanish from the private stack entirely, so re-reads would
+            # escalate straight to the LLC.)
+            l2_victim = self.l2.insert(victim[0], dirty=victim[1])
             if l2_victim is not None and l2_victim[1]:
                 writebacks.append(l2_victim)
 

@@ -15,9 +15,12 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from ..common.config import CacheConfig
 from ..common.stats import StatCounter
 from ..memory.dram import DRAM
+from .array_lru import BatchedLRUMatrix
 from .base import SetAssocCache
 
 
@@ -31,11 +34,21 @@ class BaselineLLC:
         is_approx: Callable[[int], bool] | None = None,
         capacity_multiplier: float = 1.0,
         approx_line_bytes: int = 64,
+        is_approx_batch: Callable[[np.ndarray], np.ndarray] | None = None,
     ) -> None:
+        """``is_approx_batch``, when given, must be the vectorized
+        equivalent of ``is_approx`` (e.g.
+        :meth:`~repro.system.layout.AddressLayout.is_approx_batch`);
+        :meth:`replay_batch` then classifies whole transfer streams
+        without one Python call per address."""
         self.cache = SetAssocCache(config, capacity_multiplier)
         self.latency = config.latency_cycles
         self.dram = dram
+        #: no approx classifier ⇒ the batched path can skip per-address
+        #: classification entirely (every transfer is exact traffic)
+        self._always_exact = is_approx is None
         self.is_approx = is_approx or (lambda addr: False)
+        self.is_approx_batch = is_approx_batch
         self.approx_line_bytes = approx_line_bytes
         self.stats = StatCounter()
 
@@ -77,6 +90,121 @@ class BaselineLLC:
         victim = self.cache.insert(addr, dirty=True)
         self._handle_victim(victim)
         return self.latency
+
+    # ------------------------------------------------------------------
+    # batched replay (the vectorized timing engine's fast path)
+    # ------------------------------------------------------------------
+    def replay_batch(self, addrs: np.ndarray, is_read: np.ndarray) -> np.ndarray:
+        """Replay a whole LLC event stream; returns per-event latencies.
+
+        ``addrs``/``is_read`` describe the filtered, chunk-interleaved
+        event stream: demand reads (:meth:`read`) where ``is_read``,
+        dirty L2 victim writebacks (:meth:`writeback`) elsewhere.
+        Equivalent to calling those methods one event at a time — the
+        data array is replayed through a
+        :class:`~repro.cache.array_lru.BatchedLRUMatrix`, the resulting
+        miss/victim transfer stream through
+        :meth:`~repro.memory.dram.DRAM.access_batch` — but with all
+        per-event Python work vectorized.  Latencies are reported for
+        read events (writeback slots hold 0; the caller discards them,
+        as the reference loop discards :meth:`writeback`'s return).
+
+        The batch must be the *first* traffic this LLC sees (the
+        timing engine runs exactly one trace per system); starting from
+        a non-empty cache raises rather than silently replaying against
+        the wrong state.  The final contents are written back to the
+        sequential cache, so per-event calls may follow a batch.
+        """
+        cache = self.cache
+        if any(cache._sets):
+            raise ValueError(
+                "replay_batch requires an empty LLC: it replays the whole "
+                "event stream against fresh state (one batch per cache)"
+            )
+        n = int(addrs.size)
+        matrix = BatchedLRUMatrix(cache.num_sets, cache.ways)
+        lines = addrs >> cache.line_shift
+        present, victim_line, victim_dirty = matrix.replay(
+            lines % cache.num_sets, lines, ~is_read, is_access=is_read
+        )
+        hits = int(present[is_read].sum())
+        misses = int(is_read.sum()) - hits
+        cache.hits += hits
+        cache.misses += misses
+        if hits:
+            self.stats.add("llc_hits", hits)
+        if misses:
+            self.stats.add("llc_misses", misses)
+        dirty_victims = int(victim_dirty.sum())
+        if dirty_victims:
+            self.stats.add("writebacks", dirty_victims)
+
+        # Memory-link transfer stream, in event order: each event first
+        # writes back its dirty victim, then (read misses) fetches the
+        # demand line — the `_handle_victim` → `_transfer` sequence.
+        demand = is_read & ~present
+        t_addr = np.empty((n, 2), dtype=np.int64)
+        t_addr[:, 0] = victim_line << cache.line_shift
+        t_addr[:, 1] = addrs
+        t_write = np.zeros((n, 2), dtype=bool)
+        t_write[:, 0] = True
+        t_valid = np.empty((n, 2), dtype=bool)
+        t_valid[:, 0] = victim_dirty
+        t_valid[:, 1] = demand
+        mask = t_valid.ravel()
+        dram_addr = t_addr.ravel()[mask]
+        dram_write = t_write.ravel()[mask]
+        event_of = np.repeat(np.arange(n, dtype=np.int64), 2)[mask]
+        m = int(dram_addr.size)
+
+        # Approx/exact traffic split, plus Truncate's half-width lines.
+        if self._always_exact:
+            approx = np.zeros(m, dtype=bool)
+        elif self.is_approx_batch is not None:
+            approx = self.is_approx_batch(dram_addr)
+        else:
+            fn = self.is_approx
+            approx = np.fromiter(
+                (fn(a) for a in dram_addr.tolist()), dtype=bool, count=m
+            )
+        half = approx & (self.approx_line_bytes != 64)
+        nbytes = np.where(half, self.approx_line_bytes, 64)
+        n_approx = int(approx.sum())
+        if n_approx:
+            self.stats.add("bytes_approx", int(nbytes[approx].sum()))
+        if m - n_approx:
+            self.stats.add("bytes_exact", int(nbytes[~approx].sum()))
+
+        dram_latency = self.dram.access_batch(dram_addr, dram_write)
+
+        if half.any():
+            # Credit back the saved half-line of traffic and occupancy.
+            delta = self.approx_line_bytes - 64
+            half_writes = int((half & dram_write).sum())
+            half_reads = int((half & ~dram_write).sum())
+            if half_writes:
+                self.dram.stats.add("bytes_written", half_writes * delta)
+            if half_reads:
+                self.dram.stats.add("bytes_read", half_reads * delta)
+            channels = (dram_addr[half] // 64) % self.dram.config.channels
+            credit = np.bincount(
+                channels, minlength=self.dram.config.channels
+            ) * (self.dram.config.burst_cycles // 2)
+            for c in range(self.dram.config.channels):
+                self.dram.channel_busy[c] -= int(credit[c])
+
+        # Mirror the final contents into the dict cache (LRU order is
+        # dict order), so sequential read()/writeback() calls after a
+        # batch observe the correct state.
+        for cset, entries in zip(cache._sets, matrix.lru_state()):
+            for entry_line, entry_dirty in entries:
+                cset[entry_line] = entry_dirty
+
+        latencies = np.zeros(n, dtype=np.int64)
+        latencies[is_read] = self.latency
+        demand_events = event_of[~dram_write]
+        latencies[demand_events] += dram_latency[~dram_write]
+        return latencies
 
     @property
     def mpki_misses(self) -> int:

@@ -27,6 +27,7 @@ from .block import CompressedBlock
 from .downsample import downsample_1d, downsample_2d, reconstruct_1d, reconstruct_2d
 from .errors import relative_error
 from .outliers import (
+    CHECK_MODES,
     block_average_error,
     compressed_size_cachelines,
     detect_outliers,
@@ -59,7 +60,15 @@ class BatchCompressionResult:
 
     @property
     def compression_ratio(self) -> float:
-        """Aggregate ratio: original cachelines / stored cachelines."""
+        """Aggregate ratio: original cachelines / stored cachelines.
+
+        An empty batch stores nothing and saves nothing — its ratio is
+        the neutral ``1.0``, not ``inf`` (which is reserved for the
+        impossible nonzero-blocks/zero-storage case and would otherwise
+        poison downstream means and table formatting).
+        """
+        if not self.nblocks:
+            return 1.0
         stored = int(self.size_cachelines.sum())
         return self.nblocks * BLOCK_CACHELINES / stored if stored else float("inf")
 
@@ -94,6 +103,14 @@ class AVRCompressor:
     ) -> None:
         self.thresholds = thresholds or ErrorThresholds()
         self.fmt = fmt
+        if check_mode not in CHECK_MODES:
+            # Validate eagerly: the float path would only raise deep
+            # inside the first compress_blocks call, and the FIXED32
+            # path never consults the mode at all — a typo would be
+            # silently ignored there.
+            raise ValueError(
+                f"unknown check mode {check_mode!r}; expected one of {CHECK_MODES}"
+            )
         self.check_mode = check_mode
         if not methods or any(m not in _METHOD_KERNELS for m in methods):
             raise ValueError(f"methods must be non-empty downsampling variants, got {methods}")

@@ -13,6 +13,7 @@ Two families:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -68,6 +69,7 @@ def run_llc_ablations(
     seed: int = 0,
     jobs: int = 1,
     cache_dir=None,
+    engine: str = "vectorized",
     **workload_kwargs,
 ) -> dict[str, AblationPoint]:
     """Run the AVR timing system under each ablation variant.
@@ -119,14 +121,13 @@ def run_llc_ablations(
                     seed=point.seed,
                 )
             timing_jobs[key] = (
-                run_timing_job,
+                partial(run_timing_job, avr_options=options, engine=engine),
                 Design.AVR,
                 config,
                 layout,
                 trace,
                 reference.memory.footprint_bytes,
                 1.0,
-                options,
             )
         timing.update(_execute_jobs(pool, cache, timing_jobs))
 

@@ -131,6 +131,7 @@ def evaluate_workload(
     thresholds=None,
     jobs: int = 1,
     cache_dir=None,
+    engine: str = "vectorized",
     **workload_kwargs,
 ) -> WorkloadEvaluation:
     """Run one workload through the functional and timing layers.
@@ -138,7 +139,8 @@ def evaluate_workload(
     A convenience wrapper around :func:`repro.harness.sweep.run_sweep`
     for a single-point grid.  ``jobs`` parallelizes across this
     workload's designs; ``cache_dir`` reuses previously computed job
-    results (see :mod:`repro.harness.cache`).
+    results (see :mod:`repro.harness.cache`); ``engine`` selects the
+    timing-replay implementation (both produce identical results).
     """
     from .sweep import SweepSpec, run_sweep
 
@@ -151,6 +153,7 @@ def evaluate_workload(
         thresholds=(thresholds,),
         max_accesses_per_core=max_accesses_per_core,
         workload_kwargs=tuple(sorted(workload_kwargs.items())),
+        engine=engine,
     )
     return run_sweep(spec, jobs=jobs, cache_dir=cache_dir).by_workload()[name]
 
@@ -164,13 +167,15 @@ def evaluate_all(
     max_accesses_per_core: int = 50_000,
     jobs: int = 1,
     cache_dir=None,
+    engine: str = "vectorized",
 ) -> dict[str, WorkloadEvaluation]:
     """Evaluate every workload (paper order).
 
     Built on the sweep engine: ``jobs`` fans the grid's functional and
     timing job units out over a process pool (``1`` keeps the fully
     serial, in-process path), ``cache_dir`` enables the on-disk result
-    cache so repeated evaluations skip completed points.
+    cache so repeated evaluations skip completed points, and ``engine``
+    selects the timing-replay implementation.
     """
     from ..workloads import WORKLOADS
     from .sweep import SweepSpec, run_sweep
@@ -182,5 +187,6 @@ def evaluate_all(
         scales=(scale,),
         seeds=(seed,),
         max_accesses_per_core=max_accesses_per_core,
+        engine=engine,
     )
     return run_sweep(spec, jobs=jobs, cache_dir=cache_dir).by_workload()

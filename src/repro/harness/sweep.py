@@ -33,6 +33,7 @@ from __future__ import annotations
 import itertools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+from functools import partial
 from pathlib import Path
 from typing import Any, Callable
 
@@ -117,6 +118,10 @@ class SweepSpec:
     thresholds: tuple[ErrorThresholds | None, ...] = (None,)
     max_accesses_per_core: int = 50_000
     workload_kwargs: tuple[tuple[str, Any], ...] = ()
+    #: timing-replay engine (see :meth:`repro.system.TimingSystem.run`);
+    #: both engines produce bit-identical results, so they share cache
+    #: entries — the key deliberately excludes this field.
+    engine: str = "vectorized"
 
     def resolved_config(self) -> SystemConfig:
         return self.config or SystemConfig.scaled(num_cores=8)
@@ -186,18 +191,22 @@ def run_timing_job(
     footprint_bytes: int,
     dedup_factor: float = 1.0,
     avr_options: dict | None = None,
+    engine: str = "vectorized",
 ) -> SimResult:
     """Job unit: one design's timing replay of one point's trace.
 
     ``layout`` and ``trace`` are derived deterministically from the
     point's functional results, so this too is a pure function of its
-    arguments.  ``avr_options`` forwards LLC ablation flags.
+    arguments.  ``avr_options`` forwards LLC ablation flags; ``engine``
+    selects the replay implementation (``"vectorized"`` fast path or
+    the ``"reference"`` loop — bit-identical results either way, so the
+    choice does not enter the cache key).
     """
     system = build_system(
         design, config, layout, footprint_bytes, dedup_factor,
         avr_options=avr_options,
     )
-    return system.run(trace)
+    return system.run(trace, engine=engine)
 
 
 def _functional_key(point: SweepPoint, design: Design) -> str:
@@ -438,8 +447,11 @@ def run_sweep(
                         max_accesses_per_core=point.max_accesses_per_core,
                         seed=point.seed,
                     )
+                # Bind the keyword tail by name (partials pickle into
+                # workers) so a signature change fails loudly instead
+                # of silently misbinding positionals.
                 timing_jobs[key] = (
-                    run_timing_job,
+                    partial(run_timing_job, engine=spec.engine),
                     design,
                     config,
                     layout,

@@ -10,6 +10,8 @@ bandwidth-bound execution time.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..common.config import DRAMConfig
 from ..common.stats import StatCounter
 
@@ -67,6 +69,69 @@ class DRAM:
         if not write:
             latency += cfg.burst_cycles  # critical-line transfer time
         return latency + (lines - 1) * cfg.burst_cycles // 2
+
+    def access_batch(self, addrs: np.ndarray, writes: np.ndarray) -> np.ndarray:
+        """Vectorized equivalent of one :meth:`access` call per element.
+
+        Replays a whole sequence of single-line transfers (the batched
+        LLC replay's miss/writeback stream) and returns the per-transfer
+        latencies.  Bit-identical to the sequential loop: row-buffer
+        state is per ``(channel, bank)``, and within one bank a transfer
+        hits iff it targets the same row as the previous transfer to
+        that bank — a grouped shifted compare, with only each bank's
+        *first* transfer consulting (and each bank's *last* updating)
+        the persistent open-row table.  Stats and channel busy time are
+        bulk-accumulated to the same totals.
+        """
+        m = int(addrs.size)
+        if m == 0:
+            return np.zeros(0, dtype=np.int64)
+        cfg = self.config
+        line = addrs >> self._line_shift
+        channel = line % cfg.channels
+        row = (line // cfg.channels) // self._row_lines
+        bank = row % cfg.banks_per_channel
+        key = channel * cfg.banks_per_channel + bank
+
+        order = np.argsort(key, kind="stable")
+        key_s = key[order]
+        row_s = row[order]
+        hit_s = np.zeros(m, dtype=bool)
+        hit_s[1:] = (key_s[1:] == key_s[:-1]) & (row_s[1:] == row_s[:-1])
+        boundary = np.zeros(m, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = key_s[1:] != key_s[:-1]
+        for p in np.flatnonzero(boundary).tolist():
+            c, b = divmod(int(key_s[p]), cfg.banks_per_channel)
+            hit_s[p] = self._open_rows.get((c, b)) == int(row_s[p])
+        last = np.zeros(m, dtype=bool)
+        last[-1] = True
+        last[:-1] = key_s[1:] != key_s[:-1]
+        for p in np.flatnonzero(last).tolist():
+            c, b = divmod(int(key_s[p]), cfg.banks_per_channel)
+            self._open_rows[(c, b)] = int(row_s[p])
+
+        hit = np.empty(m, dtype=bool)
+        hit[order] = hit_s
+        latency = np.where(
+            hit, np.int64(cfg.row_hit_cycles), np.int64(cfg.row_miss_cycles)
+        ) + np.where(writes, np.int64(0), np.int64(cfg.burst_cycles))
+
+        busy = np.bincount(channel, minlength=cfg.channels) * cfg.burst_cycles
+        for c in range(cfg.channels):
+            self.channel_busy[c] += int(busy[c])
+        row_hits = int(hit.sum())
+        if row_hits:
+            self.stats.add("row_hits", row_hits)
+        if m - row_hits:
+            self.stats.add("row_misses", m - row_hits)
+        nwrites = int(writes.sum())
+        if nwrites:
+            self.stats.add("bytes_written", nwrites * self.line_bytes)
+        if m - nwrites:
+            self.stats.add("bytes_read", (m - nwrites) * self.line_bytes)
+        self.stats.add("accesses", m)
+        return latency
 
     def transfer_partial(self, nbytes: int, write: bool) -> None:
         """Account sub-line traffic (e.g. CMT metadata updates)."""

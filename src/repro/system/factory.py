@@ -46,6 +46,7 @@ def build_system(
             is_approx=layout.is_approx,
             capacity_multiplier=capacity,
             approx_line_bytes=32,
+            is_approx_batch=layout.is_approx_batch,
         )
     elif design == Design.DGANGER:
         # Dedup shares data entries between similar lines; reach is
@@ -57,6 +58,7 @@ def build_system(
             dram,
             is_approx=layout.is_approx,
             capacity_multiplier=capacity,
+            is_approx_batch=layout.is_approx_batch,
         )
     elif design == Design.ZERO_AVR:
         # AVR machinery present, nothing marked approximable.

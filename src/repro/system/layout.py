@@ -48,6 +48,17 @@ class AddressLayout:
                 return True
         return False
 
+    def is_approx_batch(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_approx` over an address array.
+
+        Lets the batched timing engine classify a whole transfer stream
+        without one Python call per address.
+        """
+        out = np.zeros(addrs.shape, dtype=bool)
+        for r in self.ranges:
+            out |= (addrs >= r.start) & (addrs < r.end)
+        return out
+
     def block_size_of(self, block_addr: int) -> int:
         """Compressed size (cachelines) of the block at ``block_addr``."""
         for r in self.ranges:

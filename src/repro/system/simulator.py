@@ -13,8 +13,11 @@ as speedup for bandwidth-bound workloads, the paper's central effect.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
+import numpy as np
+
+from ..cache.array_lru import BatchedPrivateFilter
 from ..cache.hierarchy import PrivateCaches
 from ..cache.llc_avr import AVRLLC
 from ..cache.llc_baseline import BaselineLLC
@@ -30,6 +33,9 @@ from ..trace.generator import GeneratedTrace
 #: concurrently-streaming cores contend for it (turning would-be DBUF
 #: hits into compressed-block hits), as in the paper's 8-core CMP.
 INTERLEAVE_CHUNK = 12
+
+#: replay engines accepted by :meth:`TimingSystem.run`
+ENGINES = ("vectorized", "reference")
 
 
 @dataclass
@@ -69,6 +75,31 @@ class SimResult:
     def adjusted_bytes(self) -> float:
         return self.total_bytes * self.iteration_factor
 
+    #: fields outside the engine-equivalence contract: set by the
+    #: harness after the replay, not derived from it
+    _NON_REPLAY_FIELDS = frozenset({"iteration_factor"})
+
+    def metric_diffs(self, other: "SimResult") -> list[str]:
+        """Names of metrics that are not bit-identical to ``other``.
+
+        The vectorized/reference equivalence contract: every
+        replay-derived field must match *exactly* (``==`` on floats, no
+        tolerance).  The field list is derived from the dataclass, so a
+        future metric is automatically covered — growing ``SimResult``
+        tightens this check rather than silently escaping it.  Used by
+        the differential tests and by ``benchmarks/bench_timing.py``.
+        """
+        return [
+            f.name
+            for f in fields(self)
+            if f.name not in self._NON_REPLAY_FIELDS
+            and getattr(self, f.name) != getattr(other, f.name)
+        ]
+
+    def metrics_equal(self, other: "SimResult") -> bool:
+        """True when every replay-derived metric is bit-identical."""
+        return not self.metric_diffs(other)
+
 
 class TimingSystem:
     """One design point's full machine."""
@@ -85,7 +116,7 @@ class TimingSystem:
         self.llc = llc
         self.dram = dram
 
-    def run(self, trace: GeneratedTrace) -> SimResult:
+    def run(self, trace: GeneratedTrace, engine: str = "vectorized") -> SimResult:
         """Replay ``trace`` and return the run's aggregate metrics.
 
         Cores execute their streams in fixed-size interleaved chunks
@@ -95,9 +126,34 @@ class TimingSystem:
         latency-bound and bandwidth-bound estimates; callers normalize
         against a baseline run of the same trace.
 
+        ``engine`` selects the replay implementation:
+
+        * ``"vectorized"`` (default) — the batched fast path: all
+          cores' private L1/L2 stacks are replayed as array-LRU
+          matrices (:mod:`repro.cache.array_lru`) and only the
+          filtered, chunk-interleaved LLC-bound event stream goes
+          through the shared LLC/DRAM models event by event.
+        * ``"reference"`` — the original access-at-a-time loop, kept
+          as the semantic anchor for differential testing.
+
+        Both engines produce **bit-identical** :class:`SimResult`
+        metrics (enforced by ``tests/test_engine_equivalence.py`` and
+        ``benchmarks/bench_timing.py --check``).
+
         A ``TimingSystem`` accumulates state in its LLC and DRAM
         models, so each instance should run exactly one trace.
         """
+        if engine == "vectorized":
+            return self._run_vectorized(trace)
+        if engine == "reference":
+            return self._run_reference(trace)
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+    # ------------------------------------------------------------------
+    # reference engine: one access at a time
+    # ------------------------------------------------------------------
+    def _run_reference(self, trace: GeneratedTrace) -> SimResult:
+        """The original interleaved per-access replay loop."""
         config = self.config
         num_cores = len(trace.cores)
         cores = [IntervalCore(config.core) for _ in range(num_cores)]
@@ -130,6 +186,127 @@ class TimingSystem:
                     core.memory_event(latency, l1_hit=not needs_llc and latency <= priv.l1.latency)
                 positions[cid] = end
 
+        return self._finalize(
+            trace,
+            cores,
+            l1_accesses=sum(p.l1.accesses for p in privates),
+            l2_accesses=sum(p.l2.accesses for p in privates),
+        )
+
+    # ------------------------------------------------------------------
+    # vectorized engine: batched private filter + LLC event replay
+    # ------------------------------------------------------------------
+    def _run_vectorized(self, trace: GeneratedTrace) -> SimResult:
+        """Batched replay: filter privately, then replay only LLC events.
+
+        Three stages, equivalent to :meth:`_run_reference` access by
+        access:
+
+        1. **Private filter** — every core's L1+L2 stack is replayed in
+           one batched pass (:class:`BatchedPrivateFilter`); private
+           state never depends on the shared levels, so this needs no
+           interleaving.
+        2. **LLC event replay** — the surviving events (demand reads
+           that missed L2, plus dirty L2 victim writebacks) are sorted
+           into exactly the reference loop's chunk-interleaved order
+           and replayed through the *same* LLC/DRAM model objects.
+        3. **Cycle accounting** — per-core interval accounting is a
+           sequential chain of float additions; with the LLC latencies
+           from stage 2 scattered back per access, the chain folds
+           vectorized (:meth:`IntervalCore.replay_batch`) to the
+           bit-identical cycle count.
+        """
+        config = self.config
+        num_cores = len(trace.cores)
+        if num_cores == 0:
+            return self._finalize(trace, [], l1_accesses=0, l2_accesses=0)
+        cores = [IntervalCore(config.core) for _ in range(num_cores)]
+        core_ids, addrs, writes, gaps, offsets = trace.concatenated()
+        n = int(addrs.size)
+
+        filt = BatchedPrivateFilter(config, num_cores).filter(
+            core_ids, addrs, writes
+        )
+
+        # --- LLC-bound event stream, in the reference loop's order ----
+        # Chunk pass k handles accesses [12k, 12k+12) of core 0, then of
+        # core 1, ...; within one access: demand read, then the
+        # insert-victim writeback, then the access-victim writeback.
+        per_core_idx = np.arange(n, dtype=np.int64) - offsets[core_ids]
+        chunk_key = (per_core_idx // INTERLEAVE_CHUNK) * num_cores + core_ids
+
+        ev_valid = np.empty((n, 3), dtype=bool)
+        ev_valid[:, 0] = filt.needs_llc
+        ev_valid[:, 1] = filt.wb_insert_valid
+        ev_valid[:, 2] = filt.wb_access_valid
+        ev_addr = np.empty((n, 3), dtype=np.int64)
+        ev_addr[:, 0] = addrs
+        ev_addr[:, 1] = filt.wb_insert_addr
+        ev_addr[:, 2] = filt.wb_access_addr
+        ev_is_read = np.zeros((n, 3), dtype=bool)
+        ev_is_read[:, 0] = True
+
+        mask = ev_valid.ravel()
+        flat_addr = ev_addr.ravel()[mask]
+        flat_is_read = ev_is_read.ravel()[mask]
+        flat_access = np.repeat(np.arange(n, dtype=np.int64), 3)[mask]
+        # Stable sort: equal keys (same chunk pass, same core) keep the
+        # flattened row-major order, i.e. per-core access/slot order.
+        order = np.argsort(np.repeat(chunk_key, 3)[mask], kind="stable")
+        flat_addr = flat_addr[order]
+        flat_is_read = flat_is_read[order]
+        flat_access = flat_access[order]
+
+        llc = self.llc
+        if isinstance(llc, BaselineLLC):
+            # Conventional LLC (baseline / Truncate / Doppelgänger):
+            # the whole event stream replays as one batched pass too.
+            read_lats = llc.replay_batch(flat_addr, flat_is_read)[flat_is_read]
+        else:
+            # AVR's decoupled sectored LLC has deeply stateful per-event
+            # flows (DBUF, CMT, CMS block moves); replay it event by
+            # event — the stream is already filtered down to LLC-bound
+            # traffic only.
+            read, writeback = llc.read, llc.writeback
+            read_latencies: list[int] = []
+            append = read_latencies.append
+            for is_read, addr in zip(flat_is_read.tolist(), flat_addr.tolist()):
+                if is_read:
+                    append(read(addr))
+                else:
+                    writeback(addr)
+            read_lats = np.array(read_latencies, dtype=np.int64)
+
+        # --- scatter LLC latencies back, fold per-core accounting -----
+        llc_lat = np.zeros(n, dtype=np.int64)
+        llc_lat[flat_access[flat_is_read]] = read_lats
+        l1_lat, l2_lat = config.l1.latency_cycles, config.l2.latency_cycles
+        latency = np.where(filt.l1_hit, l1_lat, l1_lat + l2_lat) + llc_lat
+        l1_hit_flag = ~filt.needs_llc & (latency <= l1_lat)
+        for c in range(num_cores):
+            sl = slice(int(offsets[c]), int(offsets[c + 1]))
+            cores[c].replay_batch(gaps[sl], latency[sl], l1_hit_flag[sl])
+
+        return self._finalize(
+            trace,
+            cores,
+            l1_accesses=filt.l1_accesses,
+            l2_accesses=filt.l2_accesses,
+        )
+
+    # ------------------------------------------------------------------
+    # shared metric assembly
+    # ------------------------------------------------------------------
+    def _finalize(
+        self,
+        trace: GeneratedTrace,
+        cores: list[IntervalCore],
+        l1_accesses: int,
+        l2_accesses: int,
+    ) -> SimResult:
+        """Aggregate core/LLC/DRAM state into a :class:`SimResult`."""
+        config = self.config
+        num_cores = len(cores)
         latency_cycles = max((c.cycles for c in cores), default=0.0)
         bw_cycles = self.dram.bandwidth_bound_cycles()
         cycles = max(latency_cycles, bw_cycles)
@@ -147,7 +324,9 @@ class TimingSystem:
 
         llc_stats = dict(self.llc.stats.as_dict())
         dram_stats = dict(self.dram.stats.as_dict())
-        energy = self._energy(cores, privates, seconds, num_cores)
+        energy = self._energy(
+            instructions, l1_accesses, l2_accesses, seconds, num_cores
+        )
 
         return SimResult(
             design=self.design,
@@ -168,8 +347,9 @@ class TimingSystem:
 
     def _energy(
         self,
-        cores: list[IntervalCore],
-        privates: list[PrivateCaches],
+        instructions: int,
+        l1_accesses: int,
+        l2_accesses: int,
         seconds: float,
         num_cores: int,
     ) -> EnergyBreakdown:
@@ -180,9 +360,9 @@ class TimingSystem:
             "decompressions", 0
         )
         counts = {
-            "instructions": sum(c.instructions for c in cores),
-            "l1_accesses": sum(p.l1.accesses for p in privates),
-            "l2_accesses": sum(p.l2.accesses for p in privates),
+            "instructions": instructions,
+            "l1_accesses": l1_accesses,
+            "l2_accesses": l2_accesses,
             "llc_accesses": llc_stats.get("llc_hits", 0)
             + llc_stats.get("llc_misses", 0),
             "dram_lines": dram_lines,

@@ -44,6 +44,32 @@ class GeneratedTrace:
     def total_accesses(self) -> int:
         return int(sum(len(t) for t in self.cores))
 
+    def concatenated(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten the per-core streams for the batched timing engine.
+
+        Returns ``(core_ids, addrs, writes, gaps, offsets)``: parallel
+        arrays over all accesses in core-major order (core 0's whole
+        stream, then core 1's, ...), plus the per-core start offsets
+        (``offsets[c]:offsets[c+1]`` slices core ``c``).  Addresses and
+        gaps are widened to int64 so downstream shift/compare arithmetic
+        is signed and overflow-free.
+        """
+        lengths = np.array([len(t) for t in self.cores], dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(lengths)))
+        n = int(offsets[-1])
+        core_ids = np.repeat(np.arange(len(self.cores), dtype=np.int64), lengths)
+        addrs = np.empty(n, dtype=np.int64)
+        writes = np.empty(n, dtype=bool)
+        gaps = np.empty(n, dtype=np.int64)
+        for c, t in enumerate(self.cores):
+            sl = slice(int(offsets[c]), int(offsets[c + 1]))
+            addrs[sl] = t["addr"].astype(np.int64)
+            writes[sl] = t["write"]
+            gaps[sl] = t["gap"]
+        return core_ids, addrs, writes, gaps, offsets
+
 
 def _phase_addresses(
     phase: Phase,

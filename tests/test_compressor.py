@@ -188,3 +188,43 @@ class TestThresholdKnob:
     def test_from_t2_relation(self, t2):
         th = ErrorThresholds.from_t2(t2)
         assert th.t1 == pytest.approx(min(1.0, 2 * t2))
+
+
+class TestConstructorValidation:
+    def test_typo_check_mode_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown check mode"):
+            AVRCompressor(check_mode="hybird")
+
+    @pytest.mark.parametrize("mode", ["hardware", "relative", "hybrid"])
+    def test_valid_check_modes_accepted(self, mode):
+        assert AVRCompressor(check_mode=mode).check_mode == mode
+
+    def test_fixed32_compression_unaffected_by_mode(self):
+        """The FIXED32 path never consults check_mode — a typo there
+        used to be silently ignored, which is why the constructor now
+        validates eagerly.  All valid modes must behave identically."""
+        blocks = (np.arange(VALUES_PER_BLOCK, dtype=np.int32) * 3)[None, :]
+        results = [
+            AVRCompressor(check_mode=mode).compress_blocks(
+                blocks, DataType.FIXED32
+            )
+            for mode in ("hardware", "relative", "hybrid")
+        ]
+        assert all(
+            np.array_equal(r.size_cachelines, results[0].size_cachelines)
+            for r in results[1:]
+        )
+
+
+class TestCompressionRatioEdgeCases:
+    def test_empty_batch_ratio_is_neutral(self, compressor):
+        res = compressor.compress_blocks(
+            np.empty((0, VALUES_PER_BLOCK), dtype=np.float32)
+        )
+        assert res.nblocks == 0
+        assert res.compression_ratio == 1.0
+
+    def test_zero_storage_with_blocks_is_inf(self, compressor, smooth_blocks):
+        res = compressor.compress_blocks(smooth_blocks)
+        res.size_cachelines = np.zeros_like(res.size_cachelines)
+        assert res.compression_ratio == float("inf")

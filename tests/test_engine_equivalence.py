@@ -1,0 +1,125 @@
+"""The timing engines' equivalence contract, end to end.
+
+The vectorized engine must produce a :class:`SimResult` whose every
+metric — cycles, instructions, AMAT, MPKI, DRAM byte counts, energy,
+the full LLC/DRAM stat dictionaries — is **bit-identical** (``==`` on
+floats, no tolerance) to the reference loop's, for real workload traces
+under every design.  This is what lets the fast path replace the
+reference everywhere, and what lets both engines share sweep-cache
+entries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.types import Design
+from repro.harness.runner import _build_layout
+from repro.harness.sweep import SweepPoint, run_functional_job
+from repro.system.factory import build_system
+from repro.system.simulator import TimingSystem
+from repro.trace.generator import generate_trace
+
+CONFIG = SystemConfig.scaled(num_cores=2)
+ACCESSES = 3_000
+
+
+@pytest.fixture(scope="module", params=["heat", "kmeans", "orbit"])
+def workload_context(request):
+    """Layout + trace of one small workload (functional layer run once)."""
+    point = SweepPoint(
+        workload=request.param, scale=0.15, max_accesses_per_core=ACCESSES
+    )
+    workload = point.make()
+    reference = run_functional_job(point, Design.BASELINE)
+    avr = run_functional_job(point, Design.AVR)
+    layout = _build_layout(workload, avr)
+    trace = generate_trace(
+        workload.trace_spec(),
+        reference.memory,
+        num_cores=CONFIG.num_cores,
+        max_accesses_per_core=ACCESSES,
+        seed=point.seed,
+    )
+    return layout, trace, reference.memory.footprint_bytes
+
+
+@pytest.mark.parametrize("design", list(Design))
+def test_engines_bit_identical(workload_context, design):
+    layout, trace, footprint = workload_context
+    results = {}
+    for engine in ("reference", "vectorized"):
+        system = build_system(design, CONFIG, layout, footprint)
+        results[engine] = system.run(trace, engine=engine)
+    diffs = results["reference"].metric_diffs(results["vectorized"])
+    assert not diffs, f"engines diverge on {design}: {diffs}"
+    # Spot-pin the strictest fields: exact float equality, not approx.
+    assert results["reference"].cycles == results["vectorized"].cycles
+    assert results["reference"].energy.joules == results["vectorized"].energy.joules
+
+
+def test_write_heavy_trace_bit_identical():
+    """Writes drive the dirty-victim / writeback machinery hardest."""
+    from repro.system.layout import AddressLayout
+    from repro.trace.events import make_trace
+    from repro.trace.generator import GeneratedTrace
+
+    rng = np.random.default_rng(3)
+    cores = []
+    for c in range(2):
+        n = 4_000
+        addrs = (rng.integers(0, 1 << 15, n) * 8 + c * (1 << 19)).astype(np.int64)
+        cores.append(
+            make_trace(addrs, rng.random(n) < 0.7, rng.integers(0, 40, n))
+        )
+    trace = GeneratedTrace(cores=cores, iterations_simulated=1, iterations_total=1)
+    layout = AddressLayout()
+    layout.add_region(0, 1 << 20, 2)
+    for design in (Design.BASELINE, Design.AVR, Design.TRUNCATE):
+        ref = build_system(design, CONFIG, layout, 1 << 20).run(trace, engine="reference")
+        vec = build_system(design, CONFIG, layout, 1 << 20).run(trace, engine="vectorized")
+        assert ref.metrics_equal(vec), ref.metric_diffs(vec)
+
+
+def test_unknown_engine_rejected():
+    from repro.system.layout import AddressLayout
+    from repro.trace.generator import GeneratedTrace
+
+    system = build_system(Design.BASELINE, CONFIG, AddressLayout(), 1 << 20)
+    empty = GeneratedTrace(cores=[], iterations_simulated=1, iterations_total=1)
+    with pytest.raises(ValueError, match="unknown engine"):
+        system.run(empty, engine="warp")
+
+
+def test_empty_trace_both_engines():
+    from repro.system.layout import AddressLayout
+    from repro.trace.events import TRACE_DTYPE
+    from repro.trace.generator import GeneratedTrace
+
+    empty = GeneratedTrace(
+        cores=[np.empty(0, dtype=TRACE_DTYPE)] * 2,
+        iterations_simulated=1,
+        iterations_total=1,
+    )
+    ref = build_system(Design.BASELINE, CONFIG, AddressLayout(), 1 << 20).run(
+        empty, engine="reference"
+    )
+    vec = build_system(Design.BASELINE, CONFIG, AddressLayout(), 1 << 20).run(
+        empty, engine="vectorized"
+    )
+    assert ref.metrics_equal(vec)
+    assert vec.cycles == 0.0 and vec.instructions == 0
+
+
+def test_coreless_trace_both_engines():
+    from repro.system.layout import AddressLayout
+    from repro.trace.generator import GeneratedTrace
+
+    bare = GeneratedTrace(cores=[], iterations_simulated=1, iterations_total=1)
+    ref = build_system(Design.BASELINE, CONFIG, AddressLayout(), 1 << 20).run(
+        bare, engine="reference"
+    )
+    vec = build_system(Design.BASELINE, CONFIG, AddressLayout(), 1 << 20).run(
+        bare, engine="vectorized"
+    )
+    assert ref.metrics_equal(vec)

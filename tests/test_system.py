@@ -136,3 +136,13 @@ class TestSimulator:
         base = build_system(Design.BASELINE, CONFIG, layout, 1 << 20).run(t)
         avr = build_system(Design.AVR, CONFIG, layout, 1 << 20).run(t)
         assert avr.cycles == pytest.approx(base.cycles, rel=0.05)
+
+
+def test_is_approx_batch_matches_scalar():
+    layout = AddressLayout()
+    layout.add_region(0x10000, 4 * BLOCK_BYTES, 2)
+    layout.add_region(0x80000, 2 * BLOCK_BYTES, 4)
+    addrs = np.arange(0, 0x90000, 512, dtype=np.int64)
+    batch = layout.is_approx_batch(addrs)
+    scalar = np.array([layout.is_approx(int(a)) for a in addrs])
+    assert np.array_equal(batch, scalar)
