@@ -2,27 +2,36 @@
 
 Runs one workload's trace through both engines under each design,
 verifies the equivalence contract (every ``SimResult`` metric
-bit-identical), and reports the wall-clock speedup.
+bit-identical), and reports the per-design wall-clock breakdown.
 
 Default mode replays the largest seed workload trace (kmeans: 393k
 accesses at the default 50k/core budget on 8 cores).  ``--check`` is
-the CI mode: a small trace, every design, equivalence enforced — it
-exits nonzero on any metric divergence, and prints nothing slower than
-a smoke job should be.
+the CI mode: a small trace, equivalence enforced — it exits nonzero on
+any metric divergence, and prints nothing slower than a smoke job
+should be.  ``--designs`` narrows either mode to a subset (e.g. just
+the AVR fast path), ``--repeat`` takes the best of N timings per
+engine (shared runners are noisy; state never carries over because
+every timed run builds a fresh system), and ``--json`` records the
+breakdown — the repo's ``BENCH_timing_avr.json`` is
+``--designs avr --repeat 3 --json BENCH_timing_avr.json``.
 
 Usage::
 
-    python benchmarks/bench_timing.py                  # speedup report
+    python benchmarks/bench_timing.py                  # full breakdown
+    python benchmarks/bench_timing.py --designs avr    # one design
     python benchmarks/bench_timing.py --check          # CI equivalence
     python benchmarks/bench_timing.py --min-speedup 3  # enforce >= 3x
+    python benchmarks/bench_timing.py --json out.json  # record results
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from repro import __version__
 from repro.common.config import SystemConfig
 from repro.common.types import Design
 from repro.harness.runner import _build_layout
@@ -61,11 +70,39 @@ def time_engine(design, config, layout, trace, footprint, engine: str):
     return time.perf_counter() - start, result
 
 
-def compare(design, config, layout, trace, footprint):
-    """Time both engines on ``design``; returns (ref_s, vec_s, diffs)."""
-    ref_s, ref = time_engine(design, config, layout, trace, footprint, "reference")
-    vec_s, vec = time_engine(design, config, layout, trace, footprint, "vectorized")
-    return ref_s, vec_s, ref.metric_diffs(vec)
+def compare(design, config, layout, trace, footprint, repeat: int = 1):
+    """Time both engines on ``design``; returns (ref_s, vec_s, diffs).
+
+    With ``repeat > 1`` each engine runs that many times and the best
+    wall-clock is reported (every run builds a fresh system, so timings
+    are independent); equivalence is checked on every pair of results.
+    """
+    ref_s = vec_s = float("inf")
+    diffs: list[str] = []
+    for _ in range(repeat):
+        r_s, ref = time_engine(design, config, layout, trace, footprint, "reference")
+        v_s, vec = time_engine(design, config, layout, trace, footprint, "vectorized")
+        ref_s = min(ref_s, r_s)
+        vec_s = min(vec_s, v_s)
+        diffs = diffs or ref.metric_diffs(vec)
+    return ref_s, vec_s, diffs
+
+
+def parse_designs(names: list[str] | None, default: tuple) -> tuple:
+    if not names:
+        return default
+    by_value = {d.value.lower(): d for d in Design}
+    by_name = {d.name.lower(): d for d in Design}
+    out = []
+    for name in names:
+        design = by_value.get(name.lower()) or by_name.get(name.lower())
+        if design is None:
+            raise SystemExit(
+                f"unknown design {name!r}; choose from "
+                f"{sorted(by_value)} (or enum names {sorted(by_name)})"
+            )
+        out.append(design)
+    return tuple(out)
 
 
 def main(argv=None) -> int:
@@ -76,20 +113,31 @@ def main(argv=None) -> int:
     parser.add_argument("--cores", type=int, default=8)
     parser.add_argument("--accesses", type=int, default=50_000)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--designs", nargs="+", metavar="DESIGN",
+                        help="restrict the per-design breakdown (e.g. avr)")
+    def positive_int(value):
+        n = int(value)
+        if n < 1:
+            raise argparse.ArgumentTypeError("--repeat must be >= 1")
+        return n
+
+    parser.add_argument("--repeat", type=positive_int, default=1,
+                        help="time each engine N times, report the best")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the per-design breakdown as JSON")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless the best per-design speedup "
                              "reaches this factor")
     parser.add_argument("--check", action="store_true",
-                        help="CI mode: small trace, all designs, "
-                             "equivalence enforced")
+                        help="CI mode: small trace, equivalence enforced")
     args = parser.parse_args(argv)
 
     if args.check:
         scale, cores, accesses = min(args.scale, 0.15), 2, min(args.accesses, 4_000)
-        designs = tuple(Design)
+        designs = parse_designs(args.designs, tuple(Design))
     else:
         scale, cores, accesses = args.scale, args.cores, args.accesses
-        designs = BENCH_DESIGNS
+        designs = parse_designs(args.designs, BENCH_DESIGNS)
 
     print(f"workload={args.workload} scale={scale} cores={cores} "
           f"accesses/core={accesses}", flush=True)
@@ -99,20 +147,46 @@ def main(argv=None) -> int:
     print(f"trace: {trace.total_accesses} accesses total", flush=True)
 
     # Warm numpy's kernels so the first timed run is not penalized.
-    time_engine(Design.BASELINE, config, layout, trace, footprint, "vectorized")
+    time_engine(designs[0], config, layout, trace, footprint, "vectorized")
 
     failures = 0
     best = 0.0
+    breakdown = {}
     print(f"{'design':>9} {'reference':>10} {'vectorized':>11} "
           f"{'speedup':>8}  identical")
     for design in designs:
-        ref_s, vec_s, diffs = compare(design, config, layout, trace, footprint)
+        ref_s, vec_s, diffs = compare(
+            design, config, layout, trace, footprint, repeat=args.repeat
+        )
         speedup = ref_s / vec_s if vec_s else float("inf")
         best = max(best, speedup)
         ok = not diffs
         failures += not ok
+        breakdown[design.value] = {
+            "reference_s": round(ref_s, 4),
+            "vectorized_s": round(vec_s, 4),
+            "speedup": round(speedup, 2),
+            "identical": ok,
+        }
         print(f"{design.value:>9} {ref_s:9.2f}s {vec_s:10.2f}s "
               f"{speedup:7.2f}x  {'yes' if ok else f'NO {diffs}'}", flush=True)
+
+    if args.json:
+        payload = {
+            "version": __version__,
+            "workload": args.workload,
+            "scale": scale,
+            "cores": cores,
+            "accesses_per_core": accesses,
+            "seed": args.seed,
+            "total_accesses": trace.total_accesses,
+            "repeat": args.repeat,
+            "designs": breakdown,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
 
     if failures:
         print(f"FAIL: {failures} design(s) diverged between engines")

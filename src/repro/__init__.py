@@ -20,7 +20,7 @@ Public API highlights:
 from .common import Design, ErrorThresholds, SystemConfig
 from .compression import AVRCompressor
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: sweep-engine names re-exported lazily so ``import repro`` stays
 #: lightweight (the harness pulls in every simulator module).

@@ -4,7 +4,7 @@ from .base import SetAssocCache
 from .cmt import CMT, CMTEntry
 from .dbuf import DBUF, PFE_THRESHOLD
 from .hierarchy import PrivateCaches
-from .llc_avr import AVRLLC
+from .llc_avr import AVRLLC, PFE_DEFAULT
 from .llc_baseline import BaselineLLC
 
 __all__ = [
@@ -13,6 +13,7 @@ __all__ = [
     "CMT",
     "CMTEntry",
     "DBUF",
+    "PFE_DEFAULT",
     "PFE_THRESHOLD",
     "PrivateCaches",
     "SetAssocCache",

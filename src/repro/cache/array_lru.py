@@ -49,6 +49,24 @@ from ..common.config import SystemConfig
 EMPTY = -1
 
 
+def first_of_groups(values: np.ndarray) -> np.ndarray:
+    """Bool mask marking the first element of each run of equal values.
+
+    The core of the rounds machinery: applied to a sorted set-index
+    array it delimits the per-set op groups that become replay rounds;
+    applied to a consecutive block-number stream it delimits the
+    same-block runs the AVR fast replay resolves batched
+    (:meth:`repro.cache.llc_avr.AVRLLC.replay_batch`).
+    """
+    n = int(values.size)
+    first = np.empty(n, dtype=bool)
+    if n == 0:
+        return first
+    first[0] = True
+    np.not_equal(values[1:], values[:-1], out=first[1:])
+    return first
+
+
 class BatchedLRUMatrix:
     """One cache level as ``(sets, ways)`` matrices with batch replay."""
 
@@ -97,10 +115,7 @@ class BatchedLRUMatrix:
         # earlier ops on the same set.  Sets within a round are distinct,
         # so each round is one conflict-free fancy-indexed update.
         order = np.argsort(set_idx, kind="stable")
-        sorted_sets = set_idx[order]
-        first = np.empty(n, dtype=bool)
-        first[0] = True
-        np.not_equal(sorted_sets[1:], sorted_sets[:-1], out=first[1:])
+        first = first_of_groups(set_idx[order])
         group = np.cumsum(first) - 1
         rank = np.arange(n, dtype=np.int64) - np.flatnonzero(first)[group]
         by_round = np.argsort(rank, kind="stable")
@@ -108,31 +123,34 @@ class BatchedLRUMatrix:
         rounds = int(rank[by_round[-1]]) + 1
         bounds = np.searchsorted(rank[by_round], np.arange(rounds + 1))
 
-        tags, dirty, ages = self.tags, self.dirty, self.ages
-        rows_all = np.arange(int((bounds[1:] - bounds[:-1]).max()))
+        tags, ages = self.tags, self.ages
+        # flat views: gather/scatter through one computed index instead
+        # of (row, way) tuple indexing — the round loop's hot path
+        tags_flat = tags.reshape(-1)
+        dirty_flat = self.dirty.reshape(-1)
+        ages_flat = ages.reshape(-1)
+        ways = self.ways
         base = self._clock
         for r in range(rounds):
             ids = op_ids[bounds[r]:bounds[r + 1]]
             s = set_idx[ids]
             ln = lines[ids]
-            fl = flags[ids]
             t = tags[s]                       # (k, ways) gathers
-            d = dirty[s]
-            a = ages[s]
             match = t == ln[:, None]
             found = match.any(axis=1)
             # Hit way where found; else the empty (age EMPTY) or LRU way.
-            way = np.where(found, match.argmax(axis=1), a.argmin(axis=1))
-            rows = rows_all[: len(ids)]
-            old_tag = t[rows, way]
-            old_dirty = d[rows, way]
+            way = np.where(found, match.argmax(axis=1), ages[s].argmin(axis=1))
+            flat = s * ways + way
+            old_tag = tags_flat[flat]
+            old_dirty = dirty_flat[flat]
             evicted = ~found & (old_tag != EMPTY)
             present[ids] = found
             victim_line[ids] = np.where(evicted, old_tag, EMPTY)
             victim_dirty[ids] = old_dirty & evicted
-            tags[s, way] = ln
-            dirty[s, way] = np.where(found, old_dirty | fl, fl)
-            ages[s, way] = base + ids
+            fl = flags[ids]
+            tags_flat[flat] = ln
+            dirty_flat[flat] = np.where(found, old_dirty | fl, fl)
+            ages_flat[flat] = base + ids
 
         self._clock = base + n
         if is_access is None:

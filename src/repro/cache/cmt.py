@@ -26,9 +26,14 @@ from ..common.constants import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class CMTEntry:
-    """Metadata for one memory block."""
+    """Metadata for one memory block.
+
+    Declared with ``slots=True``: the timing replay touches entry
+    fields on every approximate miss and eviction, and slotted
+    attribute access keeps that hot path off the instance-dict route.
+    """
 
     size_cachelines: int = BLOCK_CACHELINES  # 16 = stored uncompressed
     lazy_count: int = 0
@@ -92,24 +97,34 @@ class CMT:
         ``default_size`` seeds the entry's compressed size on first
         touch (the timing layer's static per-block size).
         """
-        block = self.block_addr(addr)
-        entry = self._entries.get(block)
+        return self.lookup_block(self.block_addr(addr), default_size)
+
+    def lookup_block(
+        self, block_addr: int, default_size: int | None = None
+    ) -> tuple[CMTEntry, bool]:
+        """:meth:`lookup` for a caller that already has the block base.
+
+        The fast-replay engine decodes block numbers once per trace and
+        calls this directly, skipping the per-event address masking.
+        """
+        entry = self._entries.get(block_addr)
         if entry is None:
             entry = CMTEntry()
             if default_size is not None:
                 entry.size_cachelines = default_size
-            self._entries[block] = entry
+            self._entries[block_addr] = entry
 
-        page = block // PAGE_BYTES
-        if page in self._cache:
-            self._cache.pop(page)
-            self._cache[page] = None
+        page = block_addr // PAGE_BYTES
+        cache = self._cache
+        if page in cache:
+            del cache[page]
+            cache[page] = None
             self.cache_hits += 1
             cached = True
         else:
-            if len(self._cache) >= self.CACHE_PAGES:
-                self._cache.pop(next(iter(self._cache)))
-            self._cache[page] = None
+            if len(cache) >= self.CACHE_PAGES:
+                del cache[next(iter(cache))]
+            cache[page] = None
             self.cache_misses += 1
             cached = False
         return entry, cached

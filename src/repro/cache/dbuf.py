@@ -6,6 +6,14 @@ are served on chip without polluting the LLC.  When a new block
 arrives, the PFE decides whether the outgoing block's remaining lines
 deserve LLC insertion: the paper's threshold strategy prefetches all
 lines of a block where at least half were explicitly requested.
+
+The per-block line tracking is stored as ``BLOCK_CACHELINES``-wide bit
+masks (one bit per line offset), not Python sets: the AVR fast-replay
+engine folds a whole run of same-block requests into the buffer with a
+single bitwise OR, the PFE threshold check is a popcount, and
+single-event updates are a shift and an OR.  ``requested`` /
+``in_llc`` remain available as set-valued views for tests and
+diagnostics.
 """
 
 from __future__ import annotations
@@ -14,6 +22,9 @@ from ..common.constants import BLOCK_BYTES, BLOCK_CACHELINES, CACHELINE_BYTES
 
 #: PFE threshold: prefetch when at least this many lines were requested.
 PFE_THRESHOLD = BLOCK_CACHELINES // 2
+
+#: all line offsets of a block, as a bit mask
+FULL_BLOCK_MASK = (1 << BLOCK_CACHELINES) - 1
 
 
 class DBUF:
@@ -26,14 +37,26 @@ class DBUF:
     def __init__(self, pfe_threshold: int | None = PFE_THRESHOLD) -> None:
         self.pfe_threshold = pfe_threshold
         self.block_addr: int | None = None
-        self.requested: set[int] = set()
-        self.in_llc: set[int] = set()
+        #: bit ``i`` set <=> line offset ``i`` was explicitly requested
+        self.requested_mask: int = 0
+        #: bit ``i`` set <=> line offset ``i`` was written into the LLC
+        self.in_llc_mask: int = 0
         self.hits = 0
         self.loads = 0
 
     @staticmethod
     def _split(addr: int) -> tuple[int, int]:
         return addr & ~(BLOCK_BYTES - 1), (addr % BLOCK_BYTES) // CACHELINE_BYTES
+
+    @property
+    def requested(self) -> set[int]:
+        """Requested line offsets as a set (view over the bit mask)."""
+        return {i for i in range(BLOCK_CACHELINES) if self.requested_mask >> i & 1}
+
+    @property
+    def in_llc(self) -> set[int]:
+        """LLC-inserted line offsets as a set (view over the bit mask)."""
+        return {i for i in range(BLOCK_CACHELINES) if self.in_llc_mask >> i & 1}
 
     def holds(self, addr: int) -> bool:
         block, _ = self._split(addr)
@@ -45,16 +68,26 @@ class DBUF:
         if self.block_addr != block:
             return False
         self.hits += 1
-        self.requested.add(line)
-        self.in_llc.add(line)  # the served UCL is also written to the LLC
+        bit = 1 << line
+        self.requested_mask |= bit
+        self.in_llc_mask |= bit  # the served UCL is also written to the LLC
         return True
 
     def note_requested(self, addr: int) -> None:
         """Record that a line of the buffered block went to the LLC."""
         block, line = self._split(addr)
         if self.block_addr == block:
-            self.requested.add(line)
-            self.in_llc.add(line)
+            bit = 1 << line
+            self.requested_mask |= bit
+            self.in_llc_mask |= bit
+
+    def pfe_fires(self) -> bool:
+        """Whether replacing the buffer now would trigger a prefetch."""
+        return (
+            self.pfe_threshold is not None
+            and self.block_addr is not None
+            and self.requested_mask.bit_count() >= self.pfe_threshold
+        )
 
     def load(self, block_addr: int, requested_line: int) -> list[int]:
         """Replace the buffered block; returns lines the PFE prefetches.
@@ -64,21 +97,20 @@ class DBUF:
         not-yet-inserted lines of a block that proved useful).
         """
         prefetch: list[int] = []
-        if (
-            self.pfe_threshold is not None
-            and self.block_addr is not None
-            and len(self.requested) >= self.pfe_threshold
-        ):
-            prefetch = [
-                i for i in range(BLOCK_CACHELINES) if i not in self.in_llc
-            ]
+        if self.pfe_fires():
+            missing = ~self.in_llc_mask & FULL_BLOCK_MASK
+            while missing:
+                low = missing & -missing
+                prefetch.append(low.bit_length() - 1)
+                missing ^= low
+        bit = 1 << requested_line
         self.block_addr = block_addr
-        self.requested = {requested_line}
-        self.in_llc = {requested_line}
+        self.requested_mask = bit
+        self.in_llc_mask = bit
         self.loads += 1
         return prefetch
 
     def invalidate(self) -> None:
         self.block_addr = None
-        self.requested.clear()
-        self.in_llc.clear()
+        self.requested_mask = 0
+        self.in_llc_mask = 0

@@ -39,6 +39,9 @@ from .sweep import (
 from .cache import ResultCache
 
 #: LLC-level ablation variants: label -> AVRLLC keyword overrides.
+#: ``pfe_threshold=None`` genuinely disables the PFE (the paper default
+#: is the :data:`repro.cache.llc_avr.PFE_DEFAULT` sentinel, so ``None``
+#: is free to mean "off" all the way down to the DBUF).
 LLC_ABLATIONS: dict[str, dict] = {
     "full AVR": {},
     "no DBUF": {"enable_dbuf": False},
@@ -46,7 +49,7 @@ LLC_ABLATIONS: dict[str, dict] = {
     "no skip counters": {"enable_skip_counters": False},
     "no CMS-LRU refresh": {"enable_cms_lru_refresh": False},
     "PFE always": {"pfe_threshold": 0},
-    "PFE never": {"pfe_threshold": 17},  # more lines than a block has
+    "PFE disabled": {"pfe_threshold": None},
 }
 
 

@@ -70,26 +70,20 @@ class DRAM:
             latency += cfg.burst_cycles  # critical-line transfer time
         return latency + (lines - 1) * cfg.burst_cycles // 2
 
-    def access_batch(self, addrs: np.ndarray, writes: np.ndarray) -> np.ndarray:
-        """Vectorized equivalent of one :meth:`access` call per element.
+    def _row_hit_batch(self, line_addrs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Row-buffer outcome of a sequence of line transfers, in order.
 
-        Replays a whole sequence of single-line transfers (the batched
-        LLC replay's miss/writeback stream) and returns the per-transfer
-        latencies.  Bit-identical to the sequential loop: row-buffer
-        state is per ``(channel, bank)``, and within one bank a transfer
-        hits iff it targets the same row as the previous transfer to
-        that bank — a grouped shifted compare, with only each bank's
-        *first* transfer consulting (and each bank's *last* updating)
-        the persistent open-row table.  Stats and channel busy time are
-        bulk-accumulated to the same totals.
+        Returns ``(hit, channel)`` per line.  Bit-identical to a
+        sequential walk: row-buffer state is per ``(channel, bank)``,
+        and within one bank a transfer hits iff it targets the same row
+        as the previous transfer to that bank — a grouped shifted
+        compare, with only each bank's *first* transfer consulting (and
+        each bank's *last* updating) the persistent open-row table.
         """
-        m = int(addrs.size)
-        if m == 0:
-            return np.zeros(0, dtype=np.int64)
+        m = int(line_addrs.size)
         cfg = self.config
-        line = addrs >> self._line_shift
-        channel = line % cfg.channels
-        row = (line // cfg.channels) // self._row_lines
+        channel = line_addrs % cfg.channels
+        row = (line_addrs // cfg.channels) // self._row_lines
         bank = row % cfg.banks_per_channel
         key = channel * cfg.banks_per_channel + bank
 
@@ -113,6 +107,22 @@ class DRAM:
 
         hit = np.empty(m, dtype=bool)
         hit[order] = hit_s
+        return hit, channel
+
+    def access_batch(self, addrs: np.ndarray, writes: np.ndarray) -> np.ndarray:
+        """Vectorized equivalent of one single-line :meth:`access` per element.
+
+        Replays a whole sequence of single-line transfers (the batched
+        LLC replay's miss/writeback stream) and returns the per-transfer
+        latencies.  Row-buffer outcomes come from :meth:`_row_hit_batch`;
+        stats and channel busy time are bulk-accumulated to the same
+        totals as the sequential loop.
+        """
+        m = int(addrs.size)
+        if m == 0:
+            return np.zeros(0, dtype=np.int64)
+        cfg = self.config
+        hit, channel = self._row_hit_batch(addrs >> self._line_shift)
         latency = np.where(
             hit, np.int64(cfg.row_hit_cycles), np.int64(cfg.row_miss_cycles)
         ) + np.where(writes, np.int64(0), np.int64(cfg.burst_cycles))
@@ -131,6 +141,92 @@ class DRAM:
         if m - nwrites:
             self.stats.add("bytes_read", (m - nwrites) * self.line_bytes)
         self.stats.add("accesses", m)
+        return latency
+
+    def replay_transfers(
+        self, addrs: np.ndarray, lines: np.ndarray, writes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized replay of a mixed :meth:`access`/:meth:`transfer_partial` log.
+
+        One element per deferred call, in original call order:
+
+        * ``lines[i] >= 1`` — an ``access(addrs[i], lines[i], writes[i])``
+          (multi-line block fetches included);
+        * ``lines[i] == 0`` — a ``transfer_partial(addrs[i], writes[i])``
+          where ``addrs[i]`` carries the byte count (CMT metadata traffic).
+
+        The AVR fast-replay engine queues every DRAM call its event scan
+        would have made and settles them here in one pass: multi-line
+        accesses expand to a per-line stream for :meth:`_row_hit_batch`,
+        partials fold in positionally (their channel choice depends on
+        the number of preceding accesses, which is a cumulative sum).
+        Returns per-element latencies — :meth:`access`'s return value
+        for access slots, 0 for partial slots (``transfer_partial``
+        returns nothing).  Stats, open rows and channel busy end up
+        bit-identical to the sequential call sequence.
+        """
+        t = int(lines.size)
+        latency = np.zeros(t, dtype=np.int64)
+        if t == 0:
+            return latency
+        cfg = self.config
+        is_access = lines >= 1
+        acc_idx = np.flatnonzero(is_access)
+        nl = lines[acc_idx]
+        total_lines = int(nl.sum())
+
+        if total_lines:
+            # expand each access to its consecutive line addresses
+            ends = np.cumsum(nl)
+            offset_in = np.arange(total_lines, dtype=np.int64) - np.repeat(
+                ends - nl, nl
+            )
+            line_addr = np.repeat(addrs[acc_idx] >> self._line_shift, nl) + offset_in
+            hit, channel = self._row_hit_batch(line_addr)
+
+            first_lat = np.where(
+                hit[ends - nl],
+                np.int64(cfg.row_hit_cycles),
+                np.int64(cfg.row_miss_cycles),
+            )
+            acc_write = writes[acc_idx]
+            latency[acc_idx] = (
+                first_lat
+                + np.where(acc_write, np.int64(0), np.int64(cfg.burst_cycles))
+                + (nl - 1) * cfg.burst_cycles // 2
+            )
+
+            busy = np.bincount(channel, minlength=cfg.channels) * cfg.burst_cycles
+            for c in range(cfg.channels):
+                self.channel_busy[c] += int(busy[c])
+            row_hits = int(hit.sum())
+            if row_hits:
+                self.stats.add("row_hits", row_hits)
+            if total_lines - row_hits:
+                self.stats.add("row_misses", total_lines - row_hits)
+            wlines = int(nl[acc_write].sum())
+            if wlines:
+                self.stats.add("bytes_written", wlines * self.line_bytes)
+            if total_lines - wlines:
+                self.stats.add("bytes_read", (total_lines - wlines) * self.line_bytes)
+
+        # partials interleave with accesses: each one's channel pick
+        # depends on how many accesses preceded it
+        partial_idx = np.flatnonzero(~is_access)
+        if partial_idx.size:
+            acc_before = np.cumsum(is_access) - is_access
+            base_accesses = int(self.stats.get("accesses", 0))
+            for p in partial_idx.tolist():
+                nbytes = int(addrs[p])
+                self.stats.add(
+                    "bytes_written" if writes[p] else "bytes_read", nbytes
+                )
+                channel_p = (base_accesses + int(acc_before[p])) % cfg.channels
+                self.channel_busy[channel_p] += max(
+                    1, cfg.burst_cycles * nbytes // self.line_bytes
+                )
+        if acc_idx.size:
+            self.stats.add("accesses", int(acc_idx.size))
         return latency
 
     def transfer_partial(self, nbytes: int, write: bool) -> None:

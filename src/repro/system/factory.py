@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..cache.llc_avr import AVRLLC
 from ..cache.llc_baseline import BaselineLLC
 from ..common.config import SystemConfig
@@ -67,6 +69,10 @@ def build_system(
             dram,
             block_size_of=lambda addr: BLOCK_CACHELINES,
             is_approx=lambda addr: False,
+            is_approx_batch=lambda addrs: np.zeros(addrs.shape, dtype=bool),
+            block_size_of_batch=lambda addrs: np.full(
+                addrs.shape, BLOCK_CACHELINES, dtype=np.int64
+            ),
             **(avr_options or {}),
         )
     elif design == Design.AVR:
@@ -75,6 +81,8 @@ def build_system(
             dram,
             block_size_of=layout.block_size_of,
             is_approx=layout.is_approx,
+            is_approx_batch=layout.is_approx_batch,
+            block_size_of_batch=layout.block_size_of_batch,
             **(avr_options or {}),
         )
     else:  # pragma: no cover - exhaustive enum

@@ -68,6 +68,27 @@ class AddressLayout:
                 return int(r.sizes)
         return BLOCK_CACHELINES
 
+    def block_size_of_batch(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`block_size_of` over an address array.
+
+        Addresses outside every range report ``BLOCK_CACHELINES``
+        (stored uncompressed), like the scalar lookup.  The AVR
+        fast-replay engine uses this to decode the static size of every
+        event's block in one pass instead of one Python call per event.
+        """
+        out = np.full(addrs.shape, BLOCK_CACHELINES, dtype=np.int64)
+        # first matching range wins, like the scalar walk (nothing
+        # forbids overlapping regions)
+        unassigned = np.ones(addrs.shape, dtype=bool)
+        for r in self.ranges:
+            in_r = unassigned & (addrs >= r.start) & (addrs < r.end)
+            if isinstance(r.sizes, np.ndarray):
+                out[in_r] = r.sizes[(addrs[in_r] - r.start) // BLOCK_BYTES]
+            else:
+                out[in_r] = int(r.sizes)
+            unassigned &= ~in_r
+        return out
+
     @property
     def approx_bytes(self) -> int:
         return sum(r.end - r.start for r in self.ranges)

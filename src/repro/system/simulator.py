@@ -130,9 +130,11 @@ class TimingSystem:
 
         * ``"vectorized"`` (default) — the batched fast path: all
           cores' private L1/L2 stacks are replayed as array-LRU
-          matrices (:mod:`repro.cache.array_lru`) and only the
-          filtered, chunk-interleaved LLC-bound event stream goes
-          through the shared LLC/DRAM models event by event.
+          matrices (:mod:`repro.cache.array_lru`) and the filtered,
+          chunk-interleaved LLC-bound event stream goes through the
+          LLC's own batched replay (``BaselineLLC.replay_batch`` or
+          the AVR fast scan, ``AVRLLC.replay_batch``) with DRAM
+          settled in bulk.
         * ``"reference"`` — the original access-at-a-time loop, kept
           as the semantic anchor for differential testing.
 
@@ -257,25 +259,13 @@ class TimingSystem:
         flat_is_read = flat_is_read[order]
         flat_access = flat_access[order]
 
-        llc = self.llc
-        if isinstance(llc, BaselineLLC):
-            # Conventional LLC (baseline / Truncate / Doppelgänger):
-            # the whole event stream replays as one batched pass too.
-            read_lats = llc.replay_batch(flat_addr, flat_is_read)[flat_is_read]
-        else:
-            # AVR's decoupled sectored LLC has deeply stateful per-event
-            # flows (DBUF, CMT, CMS block moves); replay it event by
-            # event — the stream is already filtered down to LLC-bound
-            # traffic only.
-            read, writeback = llc.read, llc.writeback
-            read_latencies: list[int] = []
-            append = read_latencies.append
-            for is_read, addr in zip(flat_is_read.tolist(), flat_addr.tolist()):
-                if is_read:
-                    append(read(addr))
-                else:
-                    writeback(addr)
-            read_lats = np.array(read_latencies, dtype=np.int64)
+        # Every LLC flavour owns a batched replay of the filtered event
+        # stream: BaselineLLC (baseline / Truncate / Doppelgänger)
+        # replays its data array as one BatchedLRUMatrix pass, AVRLLC
+        # runs its array-backed fast scan (decode pass, same-block run
+        # batching, deferred DRAM settlement) — both bit-identical to
+        # their per-event read()/writeback() flows.
+        read_lats = self.llc.replay_batch(flat_addr, flat_is_read)[flat_is_read]
 
         # --- scatter LLC latencies back, fold per-core accounting -----
         llc_lat = np.zeros(n, dtype=np.int64)

@@ -126,3 +126,19 @@ def test_private_filter_matches_private_caches():
     assert filt.l2_accesses == sum(p.l2.accesses for p in ref_privates)
     assert bpf.l1.hits == sum(p.l1.hits for p in ref_privates)
     assert bpf.l2.hits == sum(p.l2.hits for p in ref_privates)
+
+
+class TestFirstOfGroups:
+    def test_marks_run_starts(self):
+        from repro.cache.array_lru import first_of_groups
+
+        values = np.array([3, 3, 7, 7, 7, 3, 1])
+        assert first_of_groups(values).tolist() == [
+            True, False, True, False, False, True, True,
+        ]
+
+    def test_empty_and_singleton(self):
+        from repro.cache.array_lru import first_of_groups
+
+        assert first_of_groups(np.array([], dtype=np.int64)).size == 0
+        assert first_of_groups(np.array([42])).tolist() == [True]

@@ -73,3 +73,52 @@ def test_invalidate():
     d.invalidate()
     assert not d.holds(BLOCK_BYTES)
     assert d.requested == set()
+
+
+class TestBitmaskTracking:
+    """The set-valued views are derived from the bit-mask state."""
+
+    def test_serve_sets_bits(self):
+        d = DBUF()
+        d.load(BLOCK_BYTES, 3)
+        d.serve(BLOCK_BYTES + 5 * CACHELINE_BYTES)
+        assert d.requested_mask == (1 << 3) | (1 << 5)
+        assert d.in_llc_mask == d.requested_mask
+        assert d.requested == {3, 5}
+        assert d.in_llc == {3, 5}
+
+    def test_note_requested_sets_bits(self):
+        d = DBUF()
+        d.load(BLOCK_BYTES, 0)
+        d.note_requested(BLOCK_BYTES + 9 * CACHELINE_BYTES)
+        assert d.requested_mask == (1 << 0) | (1 << 9)
+
+    def test_pfe_fires_uses_popcount(self):
+        d = DBUF(pfe_threshold=2)
+        d.load(BLOCK_BYTES, 0)
+        assert not d.pfe_fires()
+        d.serve(BLOCK_BYTES + CACHELINE_BYTES)
+        assert d.pfe_fires()
+
+    def test_load_prefetch_offsets_ascend(self):
+        d = DBUF(pfe_threshold=1)
+        d.load(BLOCK_BYTES, 2)
+        d.serve(BLOCK_BYTES + 11 * CACHELINE_BYTES)
+        prefetch = d.load(2 * BLOCK_BYTES, 0)
+        assert prefetch == sorted(prefetch)
+        assert set(prefetch) == set(range(BLOCK_CACHELINES)) - {2, 11}
+
+    def test_invalidate_clears_masks(self):
+        d = DBUF()
+        d.load(BLOCK_BYTES, 4)
+        d.invalidate()
+        assert d.requested_mask == 0 and d.in_llc_mask == 0
+        assert d.block_addr is None
+
+    def test_none_threshold_never_fires(self):
+        d = DBUF(pfe_threshold=None)
+        d.load(BLOCK_BYTES, 0)
+        for i in range(1, BLOCK_CACHELINES):
+            d.serve(BLOCK_BYTES + i * CACHELINE_BYTES)
+        assert not d.pfe_fires()
+        assert d.load(2 * BLOCK_BYTES, 0) == []

@@ -68,3 +68,72 @@ class TestTrafficAccounting:
             dram.access(i * 64)
         busy = dram.channel_busy
         assert max(busy) - min(busy) <= dram.config.burst_cycles
+
+
+class TestReplayTransfers:
+    """The deferred transfer log must replay bit-identically."""
+
+    @staticmethod
+    def _random_log(rng, n):
+        """A mixed access/partial call log like the AVR scan emits."""
+        addrs = (rng.integers(0, 1 << 14, n) * 64).astype(int)
+        lines = rng.integers(1, 17, n).astype(int)
+        writes = rng.random(n) < 0.4
+        partial = rng.random(n) < 0.1
+        lines[partial] = 0
+        addrs[partial] = 188  # CMT miss traffic byte count
+        writes[partial] = False
+        return addrs, lines, writes
+
+    def test_matches_sequential_calls(self, rng):
+        import numpy as np
+
+        addrs, lines, writes = self._random_log(rng, 800)
+        seq = DRAM(DRAMConfig())
+        seq_lat = []
+        for a, l, w in zip(addrs, lines, writes):
+            if l == 0:
+                seq.transfer_partial(int(a), write=bool(w))
+                seq_lat.append(0)
+            else:
+                seq_lat.append(seq.access(int(a), int(l), write=bool(w)))
+
+        bat = DRAM(DRAMConfig())
+        bat_lat = bat.replay_transfers(
+            np.asarray(addrs), np.asarray(lines), np.asarray(writes)
+        )
+        assert seq_lat == bat_lat.tolist()
+        assert seq.stats.as_dict() == bat.stats.as_dict()
+        assert seq.channel_busy == bat.channel_busy
+        assert seq._open_rows == bat._open_rows
+
+    def test_carries_row_state_across_batches(self, rng):
+        import numpy as np
+
+        addrs, lines, writes = self._random_log(rng, 400)
+        seq = DRAM(DRAMConfig())
+        for a, l, w in zip(addrs, lines, writes):
+            if l == 0:
+                seq.transfer_partial(int(a), write=bool(w))
+            else:
+                seq.access(int(a), int(l), write=bool(w))
+        bat = DRAM(DRAMConfig())
+        half = 200
+        for sl in (slice(0, half), slice(half, None)):
+            bat.replay_transfers(
+                np.asarray(addrs[sl]), np.asarray(lines[sl]),
+                np.asarray(writes[sl]),
+            )
+        assert seq.stats.as_dict() == bat.stats.as_dict()
+        assert seq._open_rows == bat._open_rows
+
+    def test_empty_log(self):
+        import numpy as np
+
+        dram = DRAM(DRAMConfig())
+        out = dram.replay_transfers(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=bool),
+        )
+        assert out.size == 0
+        assert dram.stats.as_dict() == {}

@@ -123,3 +123,160 @@ def test_coreless_trace_both_engines():
         bare, engine="vectorized"
     )
     assert ref.metrics_equal(vec)
+
+
+# ----------------------------------------------------------------------
+# AVR fast-replay differentials: ablation flags, mixed traces, handoff
+# ----------------------------------------------------------------------
+AVR_VARIANTS = {
+    "full": {},
+    "no-dbuf": {"enable_dbuf": False},
+    "no-lazy": {"enable_lazy_eviction": False},
+    "no-skip": {"enable_skip_counters": False},
+    "no-refresh": {"enable_cms_lru_refresh": False},
+    "pfe-always": {"pfe_threshold": 0},
+    "pfe-disabled": {"pfe_threshold": None},
+    "pfe-custom": {"pfe_threshold": 3},
+}
+
+
+@pytest.fixture(scope="module")
+def heat_context():
+    """One small heat workload context shared by the ablation matrix."""
+    point = SweepPoint(workload="heat", scale=0.15, max_accesses_per_core=2_500)
+    workload = point.make()
+    reference = run_functional_job(point, Design.BASELINE)
+    avr = run_functional_job(point, Design.AVR)
+    layout = _build_layout(workload, avr)
+    trace = generate_trace(
+        workload.trace_spec(),
+        reference.memory,
+        num_cores=CONFIG.num_cores,
+        max_accesses_per_core=2_500,
+        seed=point.seed,
+    )
+    return layout, trace, reference.memory.footprint_bytes
+
+
+@pytest.mark.parametrize("variant", sorted(AVR_VARIANTS))
+def test_avr_ablations_bit_identical(heat_context, variant):
+    """Every ablation flag must survive the fast replay unchanged."""
+    layout, trace, footprint = heat_context
+    options = AVR_VARIANTS[variant]
+    results = {}
+    for engine in ("reference", "vectorized"):
+        system = build_system(
+            Design.AVR, CONFIG, layout, footprint, avr_options=dict(options)
+        )
+        results[engine] = system.run(trace, engine=engine)
+    diffs = results["reference"].metric_diffs(results["vectorized"])
+    assert not diffs, f"AVR[{variant}] engines diverge: {diffs}"
+
+
+def _mixed_trace(num_cores=4, n=3_000, seed=11):
+    """Synthetic multi-core trace over mixed approx + exact regions."""
+    from repro.system.layout import AddressLayout
+    from repro.trace.events import make_trace
+    from repro.trace.generator import GeneratedTrace
+
+    rng = np.random.default_rng(seed)
+    approx_bytes = 1 << 18
+    layout = AddressLayout()
+    # compressibility mix: very compressible, moderate, uncompressible
+    sizes = rng.choice([1, 3, 16], size=approx_bytes // 1024).astype(np.int64)
+    layout.add_region(0, approx_bytes, sizes)
+    cores = []
+    for c in range(num_cores):
+        # interleave approx sweeps with exact traffic above the region
+        approx_addrs = rng.integers(0, approx_bytes // 64, n // 2) * 64
+        exact_addrs = (1 << 19) + rng.integers(0, 1 << 12, n - n // 2) * 64
+        addrs = np.empty(n, dtype=np.int64)
+        addrs[0::2] = approx_addrs
+        addrs[1::2] = exact_addrs
+        cores.append(
+            make_trace(addrs, rng.random(n) < 0.5, rng.integers(0, 30, n))
+        )
+    trace = GeneratedTrace(cores=cores, iterations_simulated=1, iterations_total=1)
+    return layout, trace
+
+
+@pytest.mark.parametrize("variant", ["full", "no-dbuf", "pfe-disabled"])
+def test_avr_multicore_mixed_regions_bit_identical(variant):
+    """Approx + exact interleaved across 4 cores, write-heavy."""
+    layout, trace = _mixed_trace()
+    config = SystemConfig.scaled(num_cores=4)
+    options = AVR_VARIANTS[variant]
+    ref = build_system(
+        Design.AVR, config, layout, 1 << 19, avr_options=dict(options)
+    ).run(trace, engine="reference")
+    vec = build_system(
+        Design.AVR, config, layout, 1 << 19, avr_options=dict(options)
+    ).run(trace, engine="vectorized")
+    assert ref.metrics_equal(vec), ref.metric_diffs(vec)
+
+
+def test_avr_replay_then_scalar_handoff():
+    """Scalar calls after a batch see exactly the event-by-event state."""
+    layout, trace = _mixed_trace(num_cores=2, n=1_200)
+    config = SystemConfig.scaled(num_cores=2)
+    fast = build_system(Design.AVR, config, layout, 1 << 19)
+    slow = build_system(Design.AVR, config, layout, 1 << 19)
+    fast.run(trace, engine="vectorized")
+    slow.run(trace, engine="reference")
+    assert fast.llc.check_invariants() == []
+    # identical follow-up traffic must behave identically on both
+    followups = [0, 64 * 5, 1024 * 7 + 128, (1 << 19) + 64 * 3]
+    for addr in followups:
+        assert fast.llc.read(addr) == slow.llc.read(addr)
+        fast.llc.writeback(addr)
+        slow.llc.writeback(addr)
+    assert fast.llc.stats.as_dict() == slow.llc.stats.as_dict()
+    assert fast.llc._slot_of == slow.llc._slot_of
+    assert fast.llc.check_invariants() == []
+
+
+def test_avr_replay_batch_requires_pristine_state():
+    from repro.cache.llc_avr import AVRLLC
+    from repro.common.config import CacheConfig, DRAMConfig
+    from repro.memory import DRAM
+
+    llc = AVRLLC(
+        CacheConfig(64 * 8 * 64, 8, 15),
+        DRAM(DRAMConfig()),
+        block_size_of=lambda addr: 2,
+        is_approx=lambda addr: False,
+    )
+    llc.read(0)
+    with pytest.raises(ValueError, match="empty LLC"):
+        llc.replay_batch(
+            np.array([0], dtype=np.int64), np.array([True])
+        )
+
+
+def test_avr_misaligned_region_bit_identical():
+    """A region start inside a block makes blocks half approx, half
+    exact; the fast replay must then give up per-block classification
+    and run batching, staying bit-identical to the reference."""
+    from repro.system.layout import AddressLayout
+    from repro.trace.events import make_trace
+    from repro.trace.generator import GeneratedTrace
+
+    rng = np.random.default_rng(23)
+    layout = AddressLayout()
+    layout.add_region(8 * 1024 + 512, 64 * 1024, 3)  # mid-block start
+    n = 3_000
+    cores = []
+    for c in range(2):
+        # hammer the boundary blocks so same-block runs form
+        addrs = (8 * 1024 + rng.integers(0, 64, n) * 64).astype(np.int64)
+        cores.append(
+            make_trace(addrs, rng.random(n) < 0.5, rng.integers(0, 20, n))
+        )
+    trace = GeneratedTrace(cores=cores, iterations_simulated=1, iterations_total=1)
+    ref = build_system(Design.AVR, CONFIG, layout, 1 << 18).run(
+        trace, engine="reference"
+    )
+    vec = build_system(Design.AVR, CONFIG, layout, 1 << 18).run(
+        trace, engine="vectorized"
+    )
+    assert ref.metrics_equal(vec), ref.metric_diffs(vec)

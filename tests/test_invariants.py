@@ -130,3 +130,36 @@ class TestCompressorInvariants:
         seg_means_orig = values.reshape(16, 16).mean(axis=1)
         seg_means_recon = recon.reshape(16, 16).mean(axis=1)
         assert np.allclose(seg_means_recon, seg_means_orig, rtol=0.01)
+
+
+class TestLayoutBatchLookups:
+    """The vectorized layout lookups must match their scalar originals."""
+
+    def test_block_size_of_batch_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        layout = AddressLayout()
+        sizes = rng.integers(1, 17, 64).astype(np.int64)
+        layout.add_region(0x10000, 64 * 1024, sizes)
+        layout.add_region(0x80000, 8 * 1024, 4)
+        addrs = rng.integers(0, 0x100000, 500).astype(np.int64)
+        batch = layout.block_size_of_batch(addrs)
+        scalar = [layout.block_size_of(int(a)) for a in addrs]
+        assert batch.tolist() == scalar
+
+    def test_is_approx_batch_matches_scalar(self):
+        rng = np.random.default_rng(6)
+        layout = AddressLayout()
+        layout.add_region(0x4000, 16 * 1024, 2)
+        addrs = rng.integers(0, 0x10000, 400).astype(np.int64)
+        batch = layout.is_approx_batch(addrs)
+        scalar = [layout.is_approx(int(a)) for a in addrs]
+        assert batch.tolist() == scalar
+
+    def test_block_size_of_batch_overlapping_first_wins(self):
+        layout = AddressLayout()
+        layout.add_region(0x0, 8 * 1024, 2)
+        layout.add_region(0x1000, 8 * 1024, 7)  # overlaps the first
+        addrs = np.arange(0, 0x4000, 512, dtype=np.int64)
+        batch = layout.block_size_of_batch(addrs)
+        scalar = [layout.block_size_of(int(a)) for a in addrs]
+        assert batch.tolist() == scalar

@@ -190,3 +190,88 @@ class TestCMSLRURefresh:
             llc.read(APPROX_BASE)  # keep touching a UCL of the block
             llc.read(0x4000000 + i * 64)  # exact streaming pressure
         assert llc._block_cms_present(block_no) >= 1
+
+
+class TestPFESentinel:
+    """PFE_DEFAULT keeps the paper policy; None genuinely disables."""
+
+    def test_default_is_paper_threshold(self):
+        from repro.cache.dbuf import PFE_THRESHOLD
+
+        llc, _ = make_llc()
+        assert llc.dbuf.pfe_threshold == PFE_THRESHOLD
+
+    def test_explicit_sentinel_matches_default(self):
+        from repro.cache.dbuf import PFE_THRESHOLD
+        from repro.cache.llc_avr import PFE_DEFAULT
+
+        dram = DRAM(DRAMConfig())
+        llc = AVRLLC(
+            CacheConfig(64 * 8 * 64, 8, 15), dram,
+            block_size_of=lambda addr: 2,
+            is_approx=lambda addr: APPROX_BASE <= addr < APPROX_END,
+            pfe_threshold=PFE_DEFAULT,
+        )
+        assert llc.dbuf.pfe_threshold == PFE_THRESHOLD
+
+    def test_none_disables_prefetching(self):
+        dram = DRAM(DRAMConfig())
+        llc = AVRLLC(
+            CacheConfig(64 * 8 * 64, 8, 15), dram,
+            block_size_of=lambda addr: 2,
+            is_approx=lambda addr: APPROX_BASE <= addr < APPROX_END,
+            pfe_threshold=None,
+        )
+        assert llc.dbuf.pfe_threshold is None
+        for i in range(BLOCK_CACHELINES):  # request every line
+            llc.read(APPROX_BASE + i * CACHELINE_BYTES)
+        llc.read(APPROX_BASE + BLOCK_BYTES)  # replace DBUF
+        assert llc.stats.get("pfe_prefetches", 0) == 0
+
+    def test_sentinel_is_cache_key_safe(self):
+        from repro.cache.llc_avr import PFE_DEFAULT
+        from repro.harness.cache import content_key
+
+        key = content_key("x", {"pfe_threshold": PFE_DEFAULT})
+        assert key  # canonicalizes without TypeError
+
+
+class TestInvariants:
+    """Structural invariants of the packed array-backed data array."""
+
+    @staticmethod
+    def _workout(llc):
+        """Mixed traffic: hits, misses, writebacks, floods, prefetches."""
+        for i in range(40):
+            llc.read(APPROX_BASE + i * CACHELINE_BYTES)
+        for i in range(0, 30, 3):
+            llc.writeback(APPROX_BASE + i * CACHELINE_BYTES)
+        for i in range(60):  # exact pressure evicts UCLs and CMS groups
+            llc.read(0x4000000 + i * CACHELINE_BYTES)
+        for i in range(12):
+            llc.read(APPROX_BASE + 4 * BLOCK_BYTES + i * CACHELINE_BYTES)
+
+    def test_clean_after_workout(self):
+        llc, _ = make_llc(block_size=3, sets=16, ways=4)
+        self._workout(llc)
+        assert llc.check_invariants() == []
+
+    def test_no_cms_beyond_static_size(self):
+        """The size-bounded eviction sweep's licence: CMS offsets stay
+        strictly below the block's static compressed size."""
+        from repro.cache.llc_avr import decode_cms_key
+
+        llc, _ = make_llc(block_size=4, sets=16, ways=4)
+        self._workout(llc)
+        resident = [k for k in llc._slot_of if k < -1]
+        assert resident, "workout should leave compressed blocks resident"
+        for key in resident:
+            block_no, off = decode_cms_key(key)
+            assert off < llc.block_size_of(block_no * BLOCK_BYTES)
+
+    def test_index_detects_corruption(self):
+        llc, _ = make_llc()
+        llc.read(APPROX_BASE)
+        slot = next(iter(llc._slot_of.values()))
+        llc.tags[slot] = 0xDEAD  # corrupt the tag plane
+        assert llc.check_invariants()
