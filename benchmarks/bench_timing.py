@@ -15,10 +15,16 @@ every timed run builds a fresh system), and ``--json`` records the
 breakdown — the repo's ``BENCH_timing_avr.json`` is
 ``--designs avr --repeat 3 --json BENCH_timing_avr.json``.
 
+``--scenario`` replays a multi-programmed mix (a registry name such as
+``heat+lbm`` or a mix string like ``kmeans*2@2+heat@4``) instead of a
+single workload, so heterogeneous co-run traffic enters the perf
+trajectory; the core count then comes from the mix.
+
 Usage::
 
     python benchmarks/bench_timing.py                  # full breakdown
     python benchmarks/bench_timing.py --designs avr    # one design
+    python benchmarks/bench_timing.py --scenario heat+lbm
     python benchmarks/bench_timing.py --check          # CI equivalence
     python benchmarks/bench_timing.py --min-speedup 3  # enforce >= 3x
     python benchmarks/bench_timing.py --json out.json  # record results
@@ -61,6 +67,17 @@ def build_context(workload_name: str, scale: float, cores: int, accesses: int, s
         num_cores=cores, max_accesses_per_core=accesses, seed=seed,
     )
     return config, layout, trace, reference.memory.footprint_bytes
+
+
+def build_scenario_bench_context(mix: str, scale: float, accesses: int, seed: int):
+    """Composed layout + co-run trace of a multi-programmed mix."""
+    from repro.harness.scenario import scenario_timing_context
+    from repro.scenario import get_scenario
+
+    scenario = get_scenario(mix).scaled(scale)
+    return scenario_timing_context(
+        scenario, seed=seed, max_accesses_per_core=accesses
+    )
 
 
 def time_engine(design, config, layout, trace, footprint, engine: str):
@@ -109,6 +126,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workload", default=DEFAULT_WORKLOAD,
                         choices=sorted(WORKLOADS))
+    parser.add_argument("--scenario", metavar="MIX", default=None,
+                        help="replay a multi-programmed mix (named or "
+                             "WORKLOAD[*N][@CORES]+...) instead of "
+                             "--workload; cores come from the mix")
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--cores", type=int, default=8)
     parser.add_argument("--accesses", type=int, default=50_000)
@@ -139,11 +160,19 @@ def main(argv=None) -> int:
         scale, cores, accesses = args.scale, args.cores, args.accesses
         designs = parse_designs(args.designs, BENCH_DESIGNS)
 
-    print(f"workload={args.workload} scale={scale} cores={cores} "
-          f"accesses/core={accesses}", flush=True)
-    config, layout, trace, footprint = build_context(
-        args.workload, scale, cores, accesses, args.seed
-    )
+    if args.scenario:
+        config, layout, trace, footprint = build_scenario_bench_context(
+            args.scenario, scale, accesses, args.seed
+        )
+        cores = config.num_cores
+        print(f"scenario={args.scenario} scale={scale} cores={cores} "
+              f"accesses/core={accesses}", flush=True)
+    else:
+        print(f"workload={args.workload} scale={scale} cores={cores} "
+              f"accesses/core={accesses}", flush=True)
+        config, layout, trace, footprint = build_context(
+            args.workload, scale, cores, accesses, args.seed
+        )
     print(f"trace: {trace.total_accesses} accesses total", flush=True)
 
     # Warm numpy's kernels so the first timed run is not penalized.
@@ -174,7 +203,8 @@ def main(argv=None) -> int:
     if args.json:
         payload = {
             "version": __version__,
-            "workload": args.workload,
+            "workload": args.scenario or args.workload,
+            "scenario": bool(args.scenario),
             "scale": scale,
             "cores": cores,
             "accesses_per_core": accesses,

@@ -15,16 +15,34 @@ Public API highlights:
   sweep engine: enumerate the evaluation grid as independent job
   units, fan them out over worker processes, and cache results on
   disk (see :mod:`repro.harness.sweep`).
+* :class:`repro.Scenario` / :func:`repro.evaluate_scenario` — the
+  scenario subsystem: multi-programmed workload mixes with per-core
+  slowdown / weighted-speedup contention metrics (see
+  :mod:`repro.scenario` and :mod:`repro.harness.scenario`).
 """
 
 from .common import Design, ErrorThresholds, SystemConfig
 from .compression import AVRCompressor
 
-__version__ = "1.3.0"
+# 1.4.0: the Scenario subsystem.  SimResult grew per-core cycle counts
+# and sweep results gained scenario-qualified identities, so the bump
+# also invalidates every scenario-unaware on-disk sweep cache entry.
+__version__ = "1.4.0"
 
 #: sweep-engine names re-exported lazily so ``import repro`` stays
 #: lightweight (the harness pulls in every simulator module).
 _SWEEP_EXPORTS = ("SweepPoint", "SweepResult", "SweepSpec", "run_sweep")
+
+#: scenario names re-exported lazily for the same reason
+_SCENARIO_EXPORTS = {
+    "Scenario": ("repro.scenario", "Scenario"),
+    "ScenarioEntry": ("repro.scenario", "ScenarioEntry"),
+    "get_scenario": ("repro.scenario", "get_scenario"),
+    "parse_mix": ("repro.scenario", "parse_mix"),
+    "ScenarioPoint": ("repro.harness.scenario", "ScenarioPoint"),
+    "ScenarioEvaluation": ("repro.harness.scenario", "ScenarioEvaluation"),
+    "evaluate_scenario": ("repro.harness.scenario", "evaluate_scenario"),
+}
 
 __all__ = [
     "AVRCompressor",
@@ -33,6 +51,7 @@ __all__ = [
     "SystemConfig",
     "__version__",
     *_SWEEP_EXPORTS,
+    *_SCENARIO_EXPORTS,
 ]
 
 
@@ -41,4 +60,9 @@ def __getattr__(name: str):
         from .harness import sweep
 
         return getattr(sweep, name)
+    if name in _SCENARIO_EXPORTS:
+        import importlib
+
+        module, attr = _SCENARIO_EXPORTS[name]
+        return getattr(importlib.import_module(module), attr)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -4,6 +4,8 @@ Commands:
 
 * ``evaluate``  — regenerate the paper's tables and figures
 * ``workload``  — run one workload under one design and report
+* ``scenario``  — co-run a multi-programmed workload mix and report
+  per-core slowdown, weighted speedup and shared-LLC pressure
 * ``ablate``    — run the LLC / compressor ablation studies
 * ``overheads`` — print the §4.2 hardware-overhead accounting
 
@@ -52,9 +54,10 @@ def _positive_int(text: str) -> int:
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload size multiplier (default 1.0)")
-    parser.add_argument("--cores", type=int, default=8,
-                        help="simulated cores (default 8)")
-    parser.add_argument("--accesses", type=int, default=50_000,
+    parser.add_argument("--cores", type=_positive_int, default=None,
+                        help="simulated cores (default 8; the scenario "
+                             "command derives it from the mix)")
+    parser.add_argument("--accesses", type=_positive_int, default=50_000,
                         help="trace accesses per core (default 50000)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--jobs", type=_positive_int, default=1,
@@ -71,7 +74,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    config = SystemConfig.scaled(num_cores=args.cores)
+    config = SystemConfig.scaled(num_cores=args.cores or 8)
     names = tuple(args.workloads) if args.workloads else None
     evals = evaluate_all(
         names=names, config=config, scale=args.scale, seed=args.seed,
@@ -101,7 +104,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_workload(args: argparse.Namespace) -> int:
-    config = SystemConfig.scaled(num_cores=args.cores)
+    config = SystemConfig.scaled(num_cores=args.cores or 8)
     ev = evaluate_workload(
         args.name, config=config, scale=args.scale, seed=args.seed,
         max_accesses_per_core=args.accesses,
@@ -122,8 +125,88 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from .harness.scenario import evaluate_scenario
+    from .scenario import get_scenario, named_scenarios
+
+    if args.mix == "list":
+        print("named mixes:")
+        for name, scenario in named_scenarios().items():
+            print(f"  {name:>18}  {scenario.mix_string()}  "
+                  f"({scenario.total_cores} cores, {scenario.placement})")
+        print("or compose one: WORKLOAD[*N][@CORES]+... "
+              "(e.g. kmeans*2@2+heat@4)")
+        return 0
+
+    try:
+        scenario = get_scenario(args.mix).scaled(args.scale)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cores = args.cores or scenario.total_cores
+    if cores < scenario.total_cores:
+        print(f"error: mix {scenario.name!r} needs {scenario.total_cores} "
+              f"cores, --cores gave {cores}", file=sys.stderr)
+        return 2
+    designs = tuple(
+        Design(d) for d in (args.designs or [d.value for d in
+                                             (Design.BASELINE, Design.AVR)])
+    )
+    config = SystemConfig.scaled(num_cores=cores)
+    ev = evaluate_scenario(
+        scenario, config=config, designs=designs, seed=args.seed,
+        max_accesses_per_core=args.accesses,
+        jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
+    )
+
+    print(f"scenario {ev.name}: {scenario.mix_string()} — "
+          f"{scenario.num_instances} instances on {cores} cores, "
+          f"footprint {ev.footprint_bytes / 1e6:.1f} MB")
+    with_baseline = Design.BASELINE in ev.runs
+    summary = {
+        design.value: {
+            "wspeedup": run.weighted_speedup,
+            **({"mix time": ev.normalized_mix_time(design)}
+               if with_baseline else {}),
+            "LLC infl": run.llc_miss_inflation,
+        }
+        for design, run in ev.runs.items()
+    }
+    columns = ["wspeedup"] + (["mix time"] if with_baseline else []) + ["LLC infl"]
+    print()
+    print(format_table(
+        f"Mix summary (weighted speedup, ideal {scenario.num_instances})",
+        summary, "{:.3f}", col_order=columns))
+    for design, run in ev.runs.items():
+        rows = {
+            f"{inst.workload}#{inst.index}": {
+                "slowdown": inst.slowdown,
+                "solo Mcyc": inst.solo_cycles / 1e6,
+                "corun Mcyc": inst.corun_cycles / 1e6,
+                "solo miss": inst.solo_llc_misses,
+                "pressure": inst.pressure_llc_misses,
+                "induced": inst.induced_llc_misses,
+            }
+            for inst in run.instances
+        }
+        print()
+        print(format_table(
+            f"{design.value}: per-instance contention",
+            rows, "{:.2f}",
+            col_order=["slowdown", "solo Mcyc", "corun Mcyc",
+                       "solo miss", "pressure", "induced"]))
+        for inst in run.instances:
+            percore = "  ".join(
+                f"c{c}:{s:.2f}"
+                for c, s in zip(inst.cores, inst.per_core_slowdown)
+            )
+            print(f"  {inst.workload}#{inst.index} per-core slowdown: "
+                  f"{percore}")
+    return 0
+
+
 def cmd_ablate(args: argparse.Namespace) -> int:
-    config = SystemConfig.scaled(num_cores=args.cores)
+    config = SystemConfig.scaled(num_cores=args.cores or 8)
     llc = run_llc_ablations(
         args.name, config=config, scale=args.scale,
         max_accesses_per_core=args.accesses,
@@ -177,6 +260,20 @@ def main(argv: list[str] | None = None) -> int:
     p_wl.add_argument("name", choices=sorted(WORKLOADS))
     _add_common(p_wl)
     p_wl.set_defaults(func=cmd_workload)
+
+    p_sc = sub.add_parser(
+        "scenario",
+        help="co-run a multi-programmed workload mix",
+        description="Evaluate a named mix (heat+lbm, kmeans4+bscholes4, "
+                    "all7), a mix string (kmeans*2@2+heat@4), or 'list' "
+                    "to enumerate the shipped mixes.",
+    )
+    p_sc.add_argument("mix", help="named mix, mix string, or 'list'")
+    p_sc.add_argument("--designs", nargs="+", metavar="DESIGN",
+                      choices=sorted(d.value for d in Design),
+                      help="designs to compare (default: baseline + AVR)")
+    _add_common(p_sc)
+    p_sc.set_defaults(func=cmd_scenario)
 
     p_ab = sub.add_parser("ablate", help="run the ablation studies")
     p_ab.add_argument("name", nargs="?", default="heat", choices=sorted(WORKLOADS))

@@ -150,6 +150,16 @@ class ApproxMemory:
         return sum(r.nbytes for r in self.regions.values())
 
     @property
+    def address_span(self) -> int:
+        """Extent of the simulated address space this memory occupies.
+
+        The first address past the last allocation (page-padded).  The
+        scenario composer sizes per-instance base offsets from this so
+        co-running instances' address spaces never overlap.
+        """
+        return self._next_addr
+
+    @property
     def approx_bytes(self) -> int:
         return sum(r.nbytes for r in self.regions.values() if r.approx)
 

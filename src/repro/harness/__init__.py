@@ -40,6 +40,15 @@ from .runner import (
     evaluate_all,
     evaluate_workload,
 )
+from .scenario import (
+    SCENARIO_DESIGNS,
+    InstanceContention,
+    ScenarioDesignRun,
+    ScenarioEvaluation,
+    ScenarioPoint,
+    evaluate_scenario,
+    scenario_timing_context,
+)
 from .sweep import (
     SweepPoint,
     SweepResult,
@@ -54,8 +63,13 @@ __all__ = [
     "ALL_DESIGNS",
     "CacheStats",
     "COMPRESSOR_ABLATIONS",
+    "InstanceContention",
     "LLC_ABLATIONS",
     "ResultCache",
+    "SCENARIO_DESIGNS",
+    "ScenarioDesignRun",
+    "ScenarioEvaluation",
+    "ScenarioPoint",
     "SweepPoint",
     "SweepResult",
     "SweepSpec",
@@ -73,7 +87,9 @@ __all__ = [
     "REQUEST_CATEGORIES",
     "WorkloadEvaluation",
     "evaluate_all",
+    "evaluate_scenario",
     "evaluate_workload",
+    "scenario_timing_context",
     "fig09_execution_time",
     "fig10_energy",
     "fig11_memory_traffic",

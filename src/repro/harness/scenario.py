@@ -1,0 +1,549 @@
+"""Scenario evaluation: contention experiments over workload mixes.
+
+A :class:`~repro.scenario.Scenario` assigns workload instances to
+cores; this module runs the mix through the timing layer and measures
+what sharing the LLC and DRAM costs each co-runner:
+
+* **per-core slowdown vs solo** — each instance is also replayed
+  *alone* on the same machine (same composed layout, same capacity
+  model, only its cores populated), and every core's co-run cycle
+  count is compared against its solo count;
+* **weighted speedup** — the standard multiprogramming throughput
+  metric ``sum_i(solo_time_i / corun_time_i)``, which equals the IPC
+  ratio sum here because an instance executes the identical
+  instruction stream solo and co-run;
+* **shared-LLC eviction pressure per co-runner** — a leave-one-out
+  replay per instance: the LLC misses the mix suffers *because
+  instance i is present* (``misses(mix) - misses(mix without i)``),
+  split into the instance's own solo misses and the misses it induces
+  on everyone else.
+
+All replays are sweep-engine job units (:func:`run_timing_job` on
+subset traces of one composed trace), cached under scenario-qualified
+content keys, and exact under both timing engines.  Completion times
+fold the bandwidth bound in proportionally: when a run is
+bandwidth-bound, every core's latency-bound count is stretched by
+``cycles / max(core_cycles)`` so per-core comparisons still see the
+DRAM-saturation effect the paper is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from pathlib import Path
+
+from .. import __version__
+from ..common.config import SystemConfig
+from ..common.types import Design, ErrorThresholds
+from ..scenario import (
+    InstancePlan,
+    Scenario,
+    assign_offsets,
+    compose_layouts,
+    compose_traces,
+    get_scenario,
+    plan_instances,
+)
+from ..system.layout import AddressLayout
+from ..system.simulator import SimResult
+from ..trace.generator import GeneratedTrace, budget_iterations, generate_trace
+from ..workloads.base import Workload, WorkloadResult
+from .cache import ResultCache, content_key
+from .runner import _build_layout
+
+__all__ = [
+    "SCENARIO_DESIGNS",
+    "InstanceContention",
+    "ScenarioContext",
+    "ScenarioDesignRun",
+    "ScenarioEvaluation",
+    "ScenarioPoint",
+    "build_scenario_context",
+    "evaluate_scenario",
+    "scenario_functional_designs",
+    "scenario_subsets",
+    "scenario_timing_context",
+]
+
+#: designs a scenario evaluation compares by default (baseline anchors
+#: the mix-level normalization; AVR is the paper's proposal)
+SCENARIO_DESIGNS = (Design.BASELINE, Design.AVR)
+
+
+@dataclass(frozen=True)
+class ScenarioPoint:
+    """One scenario grid point: a mix instance the sweep evaluates.
+
+    The scenario analogue of :class:`~repro.harness.sweep.SweepPoint`:
+    frozen, hashable, picklable, and canonicalizable into cache keys —
+    the *scenario-qualified identity* every timing replay of the mix is
+    stored under.
+    """
+
+    scenario: Scenario
+    seed: int = 0
+    thresholds: ErrorThresholds | None = None
+    max_accesses_per_core: int = 50_000
+
+    def plans(self) -> list[InstancePlan]:
+        return plan_instances(self.scenario, self.seed)
+
+    def instance_point(self, plan: InstancePlan):
+        """The functional-layer :class:`SweepPoint` of one instance.
+
+        Instances of identical configuration map to the *same* point
+        (and therefore share functional job results and cache entries):
+        the functional layer simulates values, which do not depend on
+        which cores run the code or how the mix is seeded — only the
+        trace jitter consumes the instance's spawned seed.
+        """
+        from .sweep import SweepPoint
+
+        return SweepPoint(
+            workload=plan.entry.workload,
+            scale=plan.entry.scale,
+            seed=self.seed,
+            thresholds=self.thresholds,
+            max_accesses_per_core=self.max_accesses_per_core,
+            workload_kwargs=plan.entry.workload_kwargs,
+        )
+
+
+def scenario_functional_designs(
+    designs: tuple[Design, ...]
+) -> tuple[Design, ...]:
+    """Functional runs a scenario evaluation needs per instance.
+
+    BASELINE (reference memory: layouts, footprints, traces) and AVR
+    (measured block sizes) always; DGANGER only when evaluated (its
+    measured dedup factor parameterizes the capacity model).  Scenario
+    runs report timing contention, not output error, so the other
+    designs' functional layers never execute.
+    """
+    needed = [Design.BASELINE, Design.AVR]
+    if Design.DGANGER in designs:
+        needed.append(Design.DGANGER)
+    return tuple(needed)
+
+
+def scenario_subsets(num_instances: int) -> tuple[tuple[int, ...], ...]:
+    """Instance subsets the contention experiment replays.
+
+    The full mix, each instance solo, and each leave-one-out
+    complement — deduplicated (for a two-instance mix the solo and
+    leave-one-out sets coincide) and deterministically ordered.
+    """
+    full = tuple(range(num_instances))
+    if num_instances == 1:
+        return (full,)
+    subsets = {full}
+    for i in range(num_instances):
+        subsets.add((i,))
+        subsets.add(tuple(j for j in full if j != i))
+    return tuple(sorted(subsets, key=lambda s: (len(s), s)))
+
+
+# ----------------------------------------------------------------------
+# Context: everything derived from the functional layer
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioContext:
+    """Composed machine view of one scenario point.
+
+    Built in the parent process from (cached) functional results; the
+    composed trace is generated lazily so a fully warm timing cache
+    never pays for trace generation, mirroring the single-workload
+    sweep path.
+    """
+
+    point: ScenarioPoint
+    num_cores: int
+    plans: list[InstancePlan]
+    workloads: list[Workload]
+    references: list[WorkloadResult]
+    offsets: list[int]
+    layout: AddressLayout
+    footprint_bytes: int
+    instance_footprints: list[int]
+    scale_factors: list[float]
+    dedup_factors: dict[Design, float]
+    _trace: GeneratedTrace | None = field(default=None, repr=False)
+
+    def trace(self) -> GeneratedTrace:
+        """The composed machine-wide trace (generated on first use)."""
+        if self._trace is None:
+            per_instance = [
+                generate_trace(
+                    workload.trace_spec(),
+                    reference.memory,
+                    num_cores=plan.entry.cores,
+                    max_accesses_per_core=self.point.max_accesses_per_core,
+                    seed=plan.seed,
+                )
+                for plan, workload, reference in zip(
+                    self.plans, self.workloads, self.references
+                )
+            ]
+            self._trace = compose_traces(
+                per_instance, self.plans, self.offsets, self.num_cores
+            )
+        return self._trace
+
+    def subset_trace(self, active: tuple[int, ...]) -> GeneratedTrace:
+        """The composed trace with only ``active`` instances populated."""
+        full = self.trace()
+        if len(active) == len(self.plans):
+            return full
+        import numpy as np
+
+        from ..trace.events import TRACE_DTYPE
+
+        keep = {c for i in active for c in self.plans[i].cores}
+        cores = [
+            stream if cid in keep else np.empty(0, dtype=TRACE_DTYPE)
+            for cid, stream in enumerate(full.cores)
+        ]
+        return GeneratedTrace(
+            cores=cores,
+            iterations_simulated=full.iterations_simulated,
+            iterations_total=full.iterations_total,
+        )
+
+
+def build_scenario_context(
+    point: ScenarioPoint,
+    config: SystemConfig,
+    functional_for,
+    designs: tuple[Design, ...] = SCENARIO_DESIGNS,
+) -> ScenarioContext:
+    """Compose per-instance functional results into one machine view.
+
+    ``functional_for(sweep_point, design)`` supplies the (possibly
+    cached) :class:`WorkloadResult` of one instance configuration —
+    the seam that lets :func:`repro.harness.sweep.run_sweep` and the
+    standalone :func:`evaluate_scenario` share this builder.
+    """
+    scenario = point.scenario
+    if config.num_cores < scenario.total_cores:
+        raise ValueError(
+            f"scenario {scenario.name!r} needs {scenario.total_cores} cores "
+            f"but the machine has {config.num_cores}"
+        )
+    plans = point.plans()
+    workloads, references, layouts, spans = [], [], [], []
+    dganger_runs = []
+    for plan in plans:
+        ipoint = point.instance_point(plan)
+        workload = ipoint.make()
+        reference = functional_for(ipoint, Design.BASELINE)
+        avr_run = functional_for(ipoint, Design.AVR)
+        workloads.append(workload)
+        references.append(reference)
+        layouts.append(_build_layout(workload, avr_run))
+        spans.append(reference.memory.address_span)
+        if Design.DGANGER in designs:
+            dganger_runs.append(functional_for(ipoint, Design.DGANGER))
+
+    offsets = assign_offsets(spans)
+    layout = compose_layouts(layouts, offsets)
+    footprints = [ref.memory.footprint_bytes for ref in references]
+    scale_factors = []
+    for plan, workload, reference in zip(plans, workloads, references):
+        spec = workload.trace_spec()
+        iters = budget_iterations(
+            spec,
+            reference.memory,
+            plan.entry.cores,
+            point.max_accesses_per_core,
+        )
+        scale_factors.append(spec.iterations / iters if iters else 1.0)
+
+    dedup_factors = {design: 1.0 for design in designs}
+    if Design.DGANGER in designs:
+        # One machine-wide capacity multiplier: the per-instance
+        # measured dedup factors, weighted by how much approximable
+        # data each instance contributes to the shared LLC.
+        weights = [run.memory.approx_bytes for run in dganger_runs]
+        total = sum(weights)
+        if total:
+            dedup_factors[Design.DGANGER] = (
+                sum(
+                    run.memory.dedup_factor() * w
+                    for run, w in zip(dganger_runs, weights)
+                )
+                / total
+            )
+
+    return ScenarioContext(
+        point=point,
+        num_cores=config.num_cores,
+        plans=plans,
+        workloads=workloads,
+        references=references,
+        offsets=offsets,
+        layout=layout,
+        footprint_bytes=sum(footprints),
+        instance_footprints=footprints,
+        scale_factors=scale_factors,
+        dedup_factors=dedup_factors,
+    )
+
+
+def scenario_timing_key(
+    point: ScenarioPoint,
+    design: Design,
+    config: SystemConfig,
+    active: tuple[int, ...],
+) -> str:
+    """Cache key of one subset replay: the scenario-qualified identity.
+
+    Deliberate exclusions, like single-workload timing keys: the
+    engine (both engines are bit-identical and share entries) and the
+    scenario's cosmetic ``name`` — the registry mix ``heat+lbm`` and
+    the equivalent mix string ``heat@4+lbm@4`` describe the same run
+    and must share entries, so the key covers only the content
+    (entries, placement, seed, budget, thresholds).
+    """
+    from dataclasses import replace
+
+    identity = replace(point, scenario=replace(point.scenario, name=""))
+    return content_key(
+        "scenario-timing", __version__, identity, design, config, active
+    )
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def _completion_stretch(sim: SimResult) -> float:
+    """Bandwidth-bound stretch factor of one replay.
+
+    ``SimResult.cycles`` is ``max(latency bound, bandwidth bound)``;
+    when the bandwidth bound wins, every core's completion stretches
+    proportionally so per-core comparisons still reflect the
+    DRAM-saturation effect.
+    """
+    peak = max(sim.core_cycles, default=0.0)
+    return sim.cycles / peak if peak else 1.0
+
+
+@dataclass
+class InstanceContention:
+    """What co-running cost one workload instance."""
+
+    index: int
+    workload: str
+    cores: tuple[int, ...]
+    scale_factor: float
+    instructions: int
+    solo_cycles: float
+    corun_cycles: float
+    #: per-core co-run/solo cycle ratio, aligned with ``cores``
+    per_core_slowdown: tuple[float, ...]
+    solo_llc_misses: float
+    #: LLC misses the mix suffers because this instance is present
+    #: (full mix minus the leave-one-out replay)
+    pressure_llc_misses: float
+
+    @property
+    def slowdown(self) -> float:
+        """Instance completion-time ratio, co-run vs solo (>= ~1)."""
+        return self.corun_cycles / self.solo_cycles if self.solo_cycles else 1.0
+
+    @property
+    def speedup(self) -> float:
+        """This instance's contribution to the weighted speedup."""
+        slowdown = self.slowdown
+        return 1.0 / slowdown if slowdown else 0.0
+
+    @property
+    def induced_llc_misses(self) -> float:
+        """Misses this instance inflicts on its co-runners."""
+        return self.pressure_llc_misses - self.solo_llc_misses
+
+
+@dataclass
+class ScenarioDesignRun:
+    """One design point's contention outcome on one mix."""
+
+    design: Design
+    corun: SimResult
+    instances: list[InstanceContention]
+
+    @property
+    def weighted_speedup(self) -> float:
+        """``sum_i(solo_time_i / corun_time_i)`` — ideal = #instances."""
+        return sum(inst.speedup for inst in self.instances)
+
+    @property
+    def llc_miss_inflation(self) -> float:
+        """Co-run LLC misses / sum of solo misses (capacity contention)."""
+        solo = sum(inst.solo_llc_misses for inst in self.instances)
+        corun = float(self.corun.llc_stats.get("llc_misses", 0))
+        return corun / solo if solo else 1.0
+
+
+@dataclass
+class ScenarioEvaluation:
+    """Everything measured for one scenario across the compared designs."""
+
+    scenario: Scenario
+    point: ScenarioPoint
+    num_cores: int
+    footprint_bytes: int
+    runs: dict[Design, ScenarioDesignRun] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.scenario.name
+
+    def normalized_mix_time(self, design: Design) -> float:
+        """Mix completion time vs the baseline design's co-run.
+
+        NaN when the evaluation did not include the baseline design
+        (nothing to normalize against).
+        """
+        base_run = self.runs.get(Design.BASELINE)
+        if base_run is None:
+            return float("nan")
+        base = base_run.corun.cycles
+        return self.runs[design].corun.cycles / base if base else 1.0
+
+
+def assemble_scenario_evaluation(
+    point: ScenarioPoint,
+    context: ScenarioContext,
+    designs: tuple[Design, ...],
+    timing: dict[tuple[Design, tuple[int, ...]], SimResult],
+) -> ScenarioEvaluation:
+    """Fold subset replays into per-design contention metrics."""
+    plans = context.plans
+    full = tuple(range(len(plans)))
+    evaluation = ScenarioEvaluation(
+        scenario=point.scenario,
+        point=point,
+        num_cores=context.num_cores,
+        footprint_bytes=context.footprint_bytes,
+    )
+    for design in designs:
+        corun = timing[(design, full)]
+        corun_stretch = _completion_stretch(corun)
+        corun_misses = float(corun.llc_stats.get("llc_misses", 0))
+        instances = []
+        for plan, scale_factor in zip(plans, context.scale_factors):
+            solo = timing.get((design, (plan.index,)), corun)
+            solo_stretch = _completion_stretch(solo)
+            per_core = tuple(
+                (corun.core_cycles[c] * corun_stretch)
+                / (solo.core_cycles[c] * solo_stretch)
+                if solo.core_cycles[c]
+                else 1.0
+                for c in plan.cores
+            )
+            corun_completion = (
+                max(corun.core_cycles[c] for c in plan.cores) * corun_stretch
+            )
+            solo_misses = float(solo.llc_stats.get("llc_misses", 0))
+            if len(plans) == 1:
+                pressure = corun_misses
+            else:
+                loo = timing[
+                    (design, tuple(j for j in full if j != plan.index))
+                ]
+                pressure = corun_misses - float(
+                    loo.llc_stats.get("llc_misses", 0)
+                )
+            instances.append(
+                InstanceContention(
+                    index=plan.index,
+                    workload=plan.workload,
+                    cores=plan.cores,
+                    scale_factor=scale_factor,
+                    instructions=solo.instructions,
+                    solo_cycles=solo.cycles,
+                    corun_cycles=corun_completion,
+                    per_core_slowdown=per_core,
+                    solo_llc_misses=solo_misses,
+                    pressure_llc_misses=pressure,
+                )
+            )
+        evaluation.runs[design] = ScenarioDesignRun(
+            design=design, corun=corun, instances=instances
+        )
+    return evaluation
+
+
+# ----------------------------------------------------------------------
+# Standalone entry points
+# ----------------------------------------------------------------------
+def evaluate_scenario(
+    scenario: Scenario | str,
+    config: SystemConfig | None = None,
+    designs: tuple[Design, ...] = SCENARIO_DESIGNS,
+    seed: int = 0,
+    thresholds: ErrorThresholds | None = None,
+    max_accesses_per_core: int = 50_000,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    engine: str = "vectorized",
+) -> ScenarioEvaluation:
+    """Run one multi-programmed mix end to end.
+
+    A convenience wrapper around :func:`repro.harness.sweep.run_sweep`
+    for a singleton scenario grid: ``scenario`` may be a
+    :class:`Scenario`, a registry name (``heat+lbm``) or a mix string
+    (``kmeans*2+heat@2``).  The machine defaults to exactly the mix's
+    core count; a wider ``config`` leaves the extra cores idle.
+    """
+    from .sweep import SweepSpec, run_sweep
+
+    scenario = get_scenario(scenario)
+    config = config or SystemConfig.scaled(num_cores=scenario.total_cores)
+    spec = SweepSpec(
+        workloads=(),
+        scenarios=(scenario,),
+        designs=designs,
+        config=config,
+        seeds=(seed,),
+        thresholds=(thresholds,),
+        max_accesses_per_core=max_accesses_per_core,
+        engine=engine,
+    )
+    return run_sweep(spec, jobs=jobs, cache_dir=cache_dir).by_scenario()[
+        scenario.name
+    ]
+
+
+def scenario_timing_context(
+    scenario: Scenario | str,
+    config: SystemConfig | None = None,
+    seed: int = 0,
+    max_accesses_per_core: int = 50_000,
+) -> tuple[SystemConfig, AddressLayout, GeneratedTrace, int]:
+    """Composed (config, layout, trace, footprint) of a mix's full co-run.
+
+    The scenario analogue of ``bench_timing.build_context``: runs the
+    functional layer serially in-process and returns everything a
+    timing replay of the complete mix needs — used by the benchmark's
+    ``--scenario`` mode and the CI scenario smoke job.
+    """
+    from .sweep import run_functional_job
+
+    scenario = get_scenario(scenario)
+    config = config or SystemConfig.scaled(num_cores=scenario.total_cores)
+    point = ScenarioPoint(
+        scenario=scenario, seed=seed, max_accesses_per_core=max_accesses_per_core
+    )
+    cache: dict = {}
+
+    def functional_for(ipoint, design):
+        key = (ipoint, design)
+        if key not in cache:
+            cache[key] = run_functional_job(ipoint, design)
+        return cache[key]
+
+    context = build_scenario_context(
+        point, config, functional_for, designs=(Design.BASELINE, Design.AVR)
+    )
+    return config, context.layout, context.trace(), context.footprint_bytes

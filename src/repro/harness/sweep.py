@@ -40,14 +40,24 @@ from typing import Any, Callable
 from .. import __version__
 from ..common.config import SystemConfig
 from ..common.types import Design, ErrorThresholds
+from ..scenario import Scenario
 from ..system.factory import build_system
 from ..system.layout import AddressLayout
 from ..system.simulator import SimResult
-from ..trace.generator import GeneratedTrace, generate_trace
+from ..trace.generator import GeneratedTrace
 from ..workloads import WORKLOADS, make_workload
 from ..workloads.base import Workload, WorkloadResult
 from .cache import ResultCache, content_key
-from .runner import ALL_DESIGNS, DesignRun, WorkloadEvaluation, _build_layout
+from .runner import ALL_DESIGNS, DesignRun, WorkloadEvaluation
+from .scenario import (
+    ScenarioEvaluation,
+    ScenarioPoint,
+    assemble_scenario_evaluation,
+    build_scenario_context,
+    scenario_functional_designs,
+    scenario_subsets,
+    scenario_timing_key,
+)
 
 __all__ = [
     "SweepPoint",
@@ -118,6 +128,10 @@ class SweepSpec:
     thresholds: tuple[ErrorThresholds | None, ...] = (None,)
     max_accesses_per_core: int = 50_000
     workload_kwargs: tuple[tuple[str, Any], ...] = ()
+    #: multi-programmed mixes evaluated alongside the workload grid
+    #: (see :mod:`repro.harness.scenario`); each is crossed with seeds
+    #: and thresholds like a workload is.
+    scenarios: tuple[Scenario, ...] = ()
     #: timing-replay engine (see :meth:`repro.system.TimingSystem.run`);
     #: both engines produce bit-identical results, so they share cache
     #: entries — the key deliberately excludes this field.
@@ -127,6 +141,10 @@ class SweepSpec:
         return self.config or SystemConfig.scaled(num_cores=8)
 
     def resolved_workloads(self) -> tuple[str, ...]:
+        if not self.workloads and self.scenarios:
+            # A pure scenario sweep: the empty tuple means "none", not
+            # "all seven" — mixes bring their own workloads.
+            return ()
         return self.workloads or tuple(WORKLOADS)
 
     def points(self) -> tuple[SweepPoint, ...]:
@@ -142,6 +160,22 @@ class SweepSpec:
             )
             for name, scale, seed, thresholds in itertools.product(
                 self.resolved_workloads(), self.scales, self.seeds, self.thresholds
+            )
+        )
+
+    def scenario_points(self) -> tuple[ScenarioPoint, ...]:
+        """Enumerate the scenario grid (scenarios x scales x seeds x
+        thresholds); ``scales`` multiplies every entry's workload scale,
+        mirroring what it does to workload points."""
+        return tuple(
+            ScenarioPoint(
+                scenario=scenario.scaled(scale),
+                seed=seed,
+                thresholds=thresholds,
+                max_accesses_per_core=self.max_accesses_per_core,
+            )
+            for scenario, scale, seed, thresholds in itertools.product(
+                self.scenarios, self.scales, self.seeds, self.thresholds
             )
         )
 
@@ -290,13 +324,32 @@ class SweepResult:
 
     spec: SweepSpec
     evaluations: dict[SweepPoint, WorkloadEvaluation] = field(default_factory=dict)
+    scenario_evaluations: dict[ScenarioPoint, ScenarioEvaluation] = field(
+        default_factory=dict
+    )
     stats: SweepStats = field(default_factory=SweepStats)
 
     def __len__(self) -> int:
-        return len(self.evaluations)
+        return len(self.evaluations) + len(self.scenario_evaluations)
 
     def __getitem__(self, point: SweepPoint) -> WorkloadEvaluation:
         return self.evaluations[point]
+
+    def by_scenario(self) -> dict[str, ScenarioEvaluation]:
+        """Collapse scenario results to ``{scenario name: evaluation}``.
+
+        Like :meth:`by_workload`, only valid when names identify
+        scenario points uniquely (one seed and threshold setting).
+        """
+        names = [p.scenario.name for p in self.scenario_evaluations]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                "sweep grid has multiple points per scenario; "
+                "index scenario_evaluations by ScenarioPoint instead"
+            )
+        return {
+            p.scenario.name: ev for p, ev in self.scenario_evaluations.items()
+        }
 
     def by_workload(self) -> dict[str, WorkloadEvaluation]:
         """Collapse to ``{workload name: evaluation}``.
@@ -398,23 +451,42 @@ def run_sweep(
     config = spec.resolved_config()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     points = spec.points()
+    scenario_points = spec.scenario_points()
     needed_functional = functional_designs(spec.designs)
     stats = SweepStats()
 
     with _make_pool(jobs) as pool:
         # --- stage 1: functional jobs, deduplicated by content key ----
+        # Workload points and scenario instances enumerate into one job
+        # dict: a mix containing a workload that is also swept solo
+        # shares the very same functional jobs and cache entries.
         functional_jobs: dict[str, tuple] = {}
         for point in points:
             for design in needed_functional:
                 key = _functional_key(point, design)
                 functional_jobs.setdefault(key, (run_functional_job, point, design))
+        for spoint in scenario_points:
+            for plan in spoint.plans():
+                ipoint = spoint.instance_point(plan)
+                for design in scenario_functional_designs(spec.designs):
+                    key = _functional_key(ipoint, design)
+                    functional_jobs.setdefault(
+                        key, (run_functional_job, ipoint, design)
+                    )
         functional, executed = _run_jobs(pool, cache, functional_jobs, stats)
         stats.functional_executed += executed
 
-        # --- stage 2: per-point layout + trace, then timing jobs ------
-        # The trace is only built for points with at least one timing
-        # cache miss: a warm re-run reassembles everything without
-        # regenerating a single address stream.
+        def functional_for(point: SweepPoint, design: Design) -> WorkloadResult:
+            return functional[_functional_key(point, design)]
+
+        # --- stage 2: per-point composed layout + trace, then timing --
+        # Every point — classic single-workload or multi-programmed mix
+        # — is a scenario: a workload point becomes the trivial solo
+        # scenario (one instance spanning every core), whose composed
+        # layout and trace are bit-identical to the historical path.
+        # The trace is only composed for points with at least one
+        # timing cache miss: a warm re-run reassembles everything
+        # without regenerating a single address stream.
         contexts: list[tuple[SweepPoint, Workload, WorkloadResult, AddressLayout]] = []
         timing: dict[str, SimResult] = {}
         timing_jobs: dict[str, tuple] = {}
@@ -422,10 +494,21 @@ def run_sweep(
         for point in points:
             workload = point.make()
             reference = functional[_functional_key(point, Design.BASELINE)]
-            avr_run = functional[_functional_key(point, Design.AVR)]
-            layout = _build_layout(workload, avr_run)
-            contexts.append((point, workload, reference, layout))
-            trace = None
+            solo = ScenarioPoint(
+                scenario=Scenario.solo(
+                    point.workload,
+                    cores=config.num_cores,
+                    scale=point.scale,
+                    workload_kwargs=point.workload_kwargs,
+                ),
+                seed=point.seed,
+                thresholds=point.thresholds,
+                max_accesses_per_core=point.max_accesses_per_core,
+            )
+            context = build_scenario_context(
+                solo, config, functional_for, designs=spec.designs
+            )
+            contexts.append((point, workload, reference, context.layout))
             for design in spec.designs:
                 func = functional.get(_functional_key(point, design), reference)
                 dedup = (
@@ -439,14 +522,6 @@ def run_sweep(
                 if cached is not None:
                     timing[key] = cached
                     continue
-                if trace is None:
-                    trace = generate_trace(
-                        workload.trace_spec(),
-                        reference.memory,
-                        num_cores=config.num_cores,
-                        max_accesses_per_core=point.max_accesses_per_core,
-                        seed=point.seed,
-                    )
                 # Bind the keyword tail by name (partials pickle into
                 # workers) so a signature change fails loudly instead
                 # of silently misbinding positionals.
@@ -454,11 +529,37 @@ def run_sweep(
                     partial(run_timing_job, engine=spec.engine),
                     design,
                     config,
-                    layout,
-                    trace,
+                    context.layout,
+                    context.trace(),
                     reference.memory.footprint_bytes,
                     dedup,
                 )
+
+        # Scenario points: one co-run replay per design, plus the solo
+        # and leave-one-out subset replays the contention metrics need.
+        scenario_contexts = []
+        for spoint in scenario_points:
+            context = build_scenario_context(
+                spoint, config, functional_for, designs=spec.designs
+            )
+            scenario_contexts.append(context)
+            subsets = scenario_subsets(len(context.plans))
+            for design in spec.designs:
+                for active in subsets:
+                    key = scenario_timing_key(spoint, design, config, active)
+                    cached = _cache_lookup(cache, key, stats)
+                    if cached is not None:
+                        timing[key] = cached
+                        continue
+                    timing_jobs[key] = (
+                        partial(run_timing_job, engine=spec.engine),
+                        design,
+                        config,
+                        context.layout,
+                        context.subset_trace(active),
+                        context.footprint_bytes,
+                        context.dedup_factors.get(design, 1.0),
+                    )
         timing.update(_execute_jobs(pool, cache, timing_jobs, stats))
         stats.timing_executed += len(timing_jobs)
 
@@ -490,4 +591,16 @@ def run_sweep(
                 timing=sim,
             )
         result.evaluations[point] = evaluation
+
+    for spoint, context in zip(scenario_points, scenario_contexts):
+        subset_results = {
+            (design, active): timing[
+                scenario_timing_key(spoint, design, config, active)
+            ]
+            for design in spec.designs
+            for active in scenario_subsets(len(context.plans))
+        }
+        result.scenario_evaluations[spoint] = assemble_scenario_evaluation(
+            spoint, context, spec.designs, subset_results
+        )
     return result

@@ -1,0 +1,45 @@
+"""Scenario subsystem: multi-programmed workload mixes.
+
+* :mod:`repro.scenario.spec` — the :class:`Scenario` abstraction
+  (entries, placement, mix-string parsing, named registry).
+* :mod:`repro.scenario.compose` — composition of per-instance layouts
+  and traces into one machine-wide view (disjoint base offsets,
+  instruction-count balancing, instance seed spawning).
+
+Evaluation entry points (:func:`repro.harness.evaluate_scenario`, the
+``python -m repro scenario`` command) live in the harness layer.
+"""
+
+from .compose import (
+    OFFSET_ALIGN,
+    InstancePlan,
+    assign_offsets,
+    compose_layouts,
+    compose_traces,
+    instance_seeds,
+    plan_instances,
+)
+from .spec import (
+    PLACEMENTS,
+    Scenario,
+    ScenarioEntry,
+    get_scenario,
+    named_scenarios,
+    parse_mix,
+)
+
+__all__ = [
+    "InstancePlan",
+    "OFFSET_ALIGN",
+    "PLACEMENTS",
+    "Scenario",
+    "ScenarioEntry",
+    "assign_offsets",
+    "compose_layouts",
+    "compose_traces",
+    "get_scenario",
+    "instance_seeds",
+    "named_scenarios",
+    "parse_mix",
+    "plan_instances",
+]

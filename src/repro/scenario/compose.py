@@ -1,0 +1,207 @@
+"""Composition of per-instance layouts and traces into one system view.
+
+Each workload instance of a scenario is simulated functionally in its
+own private address space (every :class:`~repro.approx.ApproxMemory`
+starts at the same base).  To co-run instances on one machine, the
+composer assigns each instance a *base offset* — disjoint,
+block/page-aligned slices of the simulated physical address space —
+and shifts the instance's :class:`~repro.system.layout.AddressLayout`
+ranges and trace addresses by it.  Instance 0's offset is zero, which
+is what keeps the trivial (single-instance) scenario bit-identical to
+the pre-scenario evaluation path.
+
+Trace composition also performs *instruction-count balancing*: the
+co-run contention story only makes sense while every instance is
+actually running, so each core's stream is trimmed to the largest
+prefix whose instruction count does not exceed the shortest instance's
+completion (measured as that instance's longest per-core instruction
+total).  For a single-instance scenario the target equals the
+instance's own maximum, so balancing is exactly a no-op.
+
+Per-instance RNG streams come from seed spawning
+(:func:`instance_seeds`): instance ``i`` derives a child seed from the
+scenario seed via ``numpy``'s :class:`~numpy.random.SeedSequence`, so
+two instances of the same workload never emit identical jitter
+streams.  A single-instance scenario keeps the raw seed — the
+compatibility rule that preserves existing single-workload traces bit
+for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..system.layout import AddressLayout
+from ..trace.generator import GeneratedTrace
+from .spec import Scenario, ScenarioEntry
+
+#: instance base offsets are multiples of this (1 MB: whole pages and
+#: whole 1 KB AVR blocks, so block offsets within a line never shift)
+OFFSET_ALIGN = 1 << 20
+
+
+@dataclass(frozen=True)
+class InstancePlan:
+    """Placement + seeding of one workload instance (no heavy state)."""
+
+    index: int
+    entry: ScenarioEntry
+    cores: tuple[int, ...]
+    seed: int
+
+    @property
+    def workload(self) -> str:
+        return self.entry.workload
+
+    def label(self) -> str:
+        cores = (
+            f"{self.cores[0]}-{self.cores[-1]}"
+            if len(self.cores) > 1
+            else str(self.cores[0])
+        )
+        return f"{self.workload}#{self.index}@c{cores}"
+
+
+def instance_seeds(seed: int, count: int) -> list[int]:
+    """Spawn one trace seed per instance from the scenario seed.
+
+    ``count == 1`` returns the raw seed (the trivial scenario must
+    regenerate existing single-workload traces bit-identically);
+    otherwise every instance gets an independent
+    :class:`~numpy.random.SeedSequence` child, collapsed to a plain
+    int so plans stay picklable and cache-key friendly.
+    """
+    if count == 1:
+        return [seed]
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+def plan_instances(scenario: Scenario, seed: int) -> list[InstancePlan]:
+    """Expand a scenario into per-instance placement/seed plans."""
+    expanded = scenario.expanded()
+    assignment = scenario.core_assignment()
+    seeds = instance_seeds(seed, len(expanded))
+    return [
+        InstancePlan(index=i, entry=entry, cores=cores, seed=child)
+        for i, (entry, cores, child) in enumerate(
+            zip(expanded, assignment, seeds)
+        )
+    ]
+
+
+def assign_offsets(spans: list[int]) -> list[int]:
+    """Disjoint base offsets for instances with the given address spans.
+
+    Instance 0 sits at offset 0 (trivial-scenario compatibility); each
+    subsequent instance starts at the previous end rounded up to
+    :data:`OFFSET_ALIGN`.
+    """
+    offsets = []
+    next_offset = 0
+    for span in spans:
+        offsets.append(next_offset)
+        next_offset = -(-(next_offset + span) // OFFSET_ALIGN) * OFFSET_ALIGN
+    return offsets
+
+
+def compose_layouts(
+    layouts: list[AddressLayout], offsets: list[int]
+) -> AddressLayout:
+    """Merge per-instance layouts shifted to their base offsets.
+
+    Ranges keep instance-major order, so the first-match semantics of
+    the scalar lookups are preserved (the ranges are disjoint anyway —
+    see :func:`assign_offsets`).
+    """
+    composed = AddressLayout()
+    for layout, offset in zip(layouts, offsets):
+        composed.ranges.extend(layout.shifted(offset).ranges)
+    return composed
+
+
+def _trim_to_instructions(core: np.ndarray, target: int) -> np.ndarray:
+    """Largest prefix of a trace whose instruction count <= ``target``.
+
+    Each record represents ``gap + 1`` instructions (the gap's compute
+    plus the memory op itself), matching
+    :func:`repro.trace.events.total_instructions`.
+    """
+    if core.size == 0:
+        return core
+    instructions = np.add.accumulate(core["gap"].astype(np.int64) + 1)
+    if int(instructions[-1]) <= target:
+        return core
+    keep = int(np.searchsorted(instructions, target, side="right"))
+    return core[:keep]
+
+
+def compose_traces(
+    traces: list[GeneratedTrace],
+    plans: list[InstancePlan],
+    offsets: list[int],
+    num_cores: int,
+    balance: bool = True,
+) -> GeneratedTrace:
+    """Merge per-instance traces into one machine-wide trace.
+
+    Each instance's per-core streams land on the global core ids its
+    plan assigns, with addresses shifted by the instance base offset.
+    Cores no instance occupies get empty streams.  With ``balance``
+    (the default), every core is trimmed to the shortest instance's
+    completion — the minimum over instances of the instance's largest
+    per-core instruction total — so contention metrics only integrate
+    over the window where the whole mix is running.  Single-instance
+    scenarios are returned with their arrays untouched (offset 0, trim
+    target equal to the instance's own maximum): the trivial scenario
+    is bit-identical to the classic path.
+    """
+    from ..trace.events import TRACE_DTYPE
+
+    cores: list[np.ndarray] = [
+        np.empty(0, dtype=TRACE_DTYPE) for _ in range(num_cores)
+    ]
+    for trace, plan, offset in zip(traces, plans, offsets):
+        if len(trace.cores) != len(plan.cores):
+            raise ValueError(
+                f"instance {plan.label()} generated {len(trace.cores)} core "
+                f"streams for {len(plan.cores)} assigned cores"
+            )
+        for stream, core_id in zip(trace.cores, plan.cores):
+            if core_id >= num_cores:
+                raise ValueError(
+                    f"instance {plan.label()} assigned core {core_id} on a "
+                    f"{num_cores}-core machine"
+                )
+            if offset:
+                shifted = stream.copy()
+                shifted["addr"] += np.uint64(offset)
+                cores[core_id] = shifted
+            else:
+                cores[core_id] = stream
+
+    if balance:
+        per_instance_max = [
+            max(
+                (int(t["gap"].sum()) + len(t) for t in trace.cores),
+                default=0,
+            )
+            for trace in traces
+        ]
+        target = min(per_instance_max) if per_instance_max else 0
+        cores = [_trim_to_instructions(c, target) for c in cores]
+
+    if len(traces) == 1:
+        iterations_simulated = traces[0].iterations_simulated
+        iterations_total = traces[0].iterations_total
+    else:
+        # A mix has no single iteration count; per-instance scale
+        # factors live in the scenario evaluation instead.
+        iterations_simulated = iterations_total = 1
+    return GeneratedTrace(
+        cores=cores,
+        iterations_simulated=iterations_simulated,
+        iterations_total=iterations_total,
+    )

@@ -1,0 +1,291 @@
+"""Scenario specs: named multi-programmed workload mixes.
+
+A :class:`Scenario` is a first-class description of *what runs on the
+machine*: an ordered list of workload instances, how many cores each
+instance spans (OpenMP-style domain decomposition within the
+instance), and a placement policy mapping instances to core ids.  The
+evaluation stack runs scenarios everywhere; the classic single-workload
+evaluation is the trivial scenario (:meth:`Scenario.solo`) — one
+instance spanning every core — and is bit-identical to the
+pre-scenario code path.
+
+Scenarios are frozen, hashable and built from picklable scalars, so
+they key result dictionaries and enter sweep-cache content keys the
+same way :class:`~repro.harness.sweep.SweepPoint` does.
+
+Mix strings give a compact CLI surface::
+
+    heat+lbm            two instances, 1 core each
+    heat@4+lbm@4        two instances, 4 cores each
+    kmeans*4+bscholes*4 four 1-core instances of each
+    kmeans*2@2          two instances, 2 cores each
+
+(``×`` is accepted in place of ``*``.)  A few named mixes ship in the
+:func:`named_scenarios` registry; :func:`get_scenario` resolves a name
+from the registry first and falls back to parsing it as a mix string.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Any
+
+#: placement policies understood by :meth:`Scenario.core_assignment`
+PLACEMENTS = ("block", "interleave")
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One kind of workload instance inside a scenario.
+
+    ``cores`` is the number of cores *one* instance spans (its trace is
+    domain-decomposed across them, exactly like the classic
+    single-workload run decomposes across the whole machine);
+    ``instances`` is how many independent copies of that instance the
+    scenario schedules.
+    """
+
+    workload: str
+    cores: int = 1
+    instances: int = 1
+    scale: float = 1.0
+    workload_kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"entry cores must be >= 1, got {self.cores}")
+        if self.instances < 1:
+            raise ValueError(
+                f"entry instances must be >= 1, got {self.instances}"
+            )
+        if self.scale <= 0:
+            raise ValueError(f"entry scale must be positive, got {self.scale}")
+
+    def label(self) -> str:
+        """Compact mix-string form of this entry (``kmeans*4@2``)."""
+        text = self.workload
+        if self.instances > 1:
+            text += f"*{self.instances}"
+        if self.cores > 1:
+            text += f"@{self.cores}"
+        return text
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named assignment of workload instances to cores.
+
+    ``entries`` is ordered; :meth:`core_assignment` expands it (one
+    expanded entry per instance) and maps instances to global core ids
+    under the ``placement`` policy:
+
+    * ``"block"`` — instances occupy consecutive core ranges in entry
+      order (instance 0 on cores ``0..c0-1``, instance 1 next, ...).
+    * ``"interleave"`` — core ids round-robin across instances, so
+      co-runners alternate in the LLC's chunk-interleaved service
+      order instead of forming contiguous bursts.
+
+    Placement changes *which* core ids an instance's streams occupy,
+    and therefore the interleaving pattern the shared LLC and the AVR
+    module's single DBUF observe — a contention knob, not cosmetics.
+    """
+
+    name: str
+    entries: tuple[ScenarioEntry, ...]
+    placement: str = "block"
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("a scenario needs at least one entry")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; expected one of "
+                f"{PLACEMENTS}"
+            )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def solo(
+        cls,
+        workload: str,
+        cores: int,
+        scale: float = 1.0,
+        workload_kwargs: tuple[tuple[str, Any], ...] = (),
+    ) -> "Scenario":
+        """The trivial scenario: one instance spanning every core.
+
+        This is the classic single-workload evaluation, expressed as a
+        scenario; the composed layout and trace it produces are
+        bit-identical to the pre-scenario path.
+        """
+        return cls(
+            name=workload,
+            entries=(
+                ScenarioEntry(
+                    workload=workload,
+                    cores=cores,
+                    scale=scale,
+                    workload_kwargs=workload_kwargs,
+                ),
+            ),
+        )
+
+    def scaled(self, factor: float) -> "Scenario":
+        """A copy with every entry's workload scale multiplied."""
+        if factor == 1.0:
+            return self
+        return replace(
+            self,
+            entries=tuple(
+                replace(e, scale=e.scale * factor) for e in self.entries
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def total_cores(self) -> int:
+        return sum(e.cores * e.instances for e in self.entries)
+
+    @property
+    def num_instances(self) -> int:
+        return sum(e.instances for e in self.entries)
+
+    def expanded(self) -> tuple[ScenarioEntry, ...]:
+        """One entry per instance, in entry order (``instances=1`` each)."""
+        return tuple(
+            replace(entry, instances=1)
+            for entry in self.entries
+            for _ in range(entry.instances)
+        )
+
+    def core_assignment(self) -> tuple[tuple[int, ...], ...]:
+        """Global core ids of each expanded instance, per ``placement``."""
+        expanded = self.expanded()
+        if self.placement == "block":
+            assignment = []
+            next_core = 0
+            for entry in expanded:
+                assignment.append(
+                    tuple(range(next_core, next_core + entry.cores))
+                )
+                next_core += entry.cores
+            return tuple(assignment)
+        # interleave: deal core ids round-robin over instances that
+        # still need cores, so co-runners alternate in service order.
+        remaining = [entry.cores for entry in expanded]
+        cores: list[list[int]] = [[] for _ in expanded]
+        next_core = 0
+        while any(remaining):
+            for idx in range(len(expanded)):
+                if remaining[idx]:
+                    cores[idx].append(next_core)
+                    next_core += 1
+                    remaining[idx] -= 1
+        return tuple(tuple(c) for c in cores)
+
+    def mix_string(self) -> str:
+        """Canonical ``+``-joined mix form of the entries."""
+        return "+".join(entry.label() for entry in self.entries)
+
+
+# ----------------------------------------------------------------------
+# mix-string parsing and the named registry
+# ----------------------------------------------------------------------
+_PART_RE = re.compile(
+    r"^(?P<workload>[a-z][a-z0-9_]*)"
+    r"(?:[*×](?P<instances>\d+))?"
+    r"(?:@(?P<cores>\d+))?$"
+)
+
+
+def parse_mix(text: str, name: str | None = None) -> Scenario:
+    """Parse a mix string (``heat@4+lbm@4``, ``kmeans*4+bscholes*4``).
+
+    Workload names are validated against the registry so a typo fails
+    here rather than deep inside a sweep.
+    """
+    from ..workloads import WORKLOADS
+
+    parts = [p.strip() for p in text.split("+")]
+    if not parts or not all(parts):
+        raise ValueError(f"empty mix string {text!r}")
+    entries = []
+    for part in parts:
+        match = _PART_RE.match(part)
+        if match is None:
+            raise ValueError(
+                f"cannot parse mix part {part!r} "
+                "(expected WORKLOAD[*N][@CORES])"
+            )
+        workload = match["workload"]
+        if workload not in WORKLOADS:
+            raise ValueError(
+                f"unknown workload {workload!r} in mix {text!r}; "
+                f"available: {sorted(WORKLOADS)}"
+            )
+        entries.append(
+            ScenarioEntry(
+                workload=workload,
+                cores=int(match["cores"] or 1),
+                instances=int(match["instances"] or 1),
+            )
+        )
+    return Scenario(name=name or text, entries=tuple(entries))
+
+
+def _named() -> dict[str, Scenario]:
+    from ..workloads import WORKLOADS
+
+    return {
+        # Two parallel applications co-scheduled on half the machine
+        # each: the paper's 8-core CMP split down the middle.
+        "heat+lbm": Scenario(
+            name="heat+lbm",
+            entries=(
+                ScenarioEntry("heat", cores=4),
+                ScenarioEntry("lbm", cores=4),
+            ),
+        ),
+        # Eight single-core instances: a throughput mix of a cache-hungry
+        # iterative kernel against a streaming single-pass one.
+        "kmeans4+bscholes4": Scenario(
+            name="kmeans4+bscholes4",
+            entries=(
+                ScenarioEntry("kmeans", instances=4),
+                ScenarioEntry("bscholes", instances=4),
+            ),
+        ),
+        # Every paper workload at once, one core each, interleaved so
+        # all seven rotate through the shared LLC's service order.
+        "all7": Scenario(
+            name="all7",
+            entries=tuple(ScenarioEntry(name) for name in WORKLOADS),
+            placement="interleave",
+        ),
+    }
+
+
+#: memoized registry of shipped mixes; read through named_scenarios()
+_NAMED_CACHE: dict[str, Scenario] = {}
+
+
+def named_scenarios() -> dict[str, Scenario]:
+    """The shipped named mixes (memoized)."""
+    if not _NAMED_CACHE:
+        _NAMED_CACHE.update(_named())
+    return dict(_NAMED_CACHE)
+
+
+def get_scenario(name_or_mix: str | Scenario) -> Scenario:
+    """Resolve a scenario: registry name first, then mix syntax."""
+    if isinstance(name_or_mix, Scenario):
+        return name_or_mix
+    named = named_scenarios()
+    if name_or_mix in named:
+        return named[name_or_mix]
+    return parse_mix(name_or_mix)

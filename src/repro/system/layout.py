@@ -42,6 +42,22 @@ class AddressLayout:
                 )
         self.ranges.append(_Range(start, end, sizes))
 
+    def shifted(self, offset: int) -> "AddressLayout":
+        """A copy of this layout relocated by ``offset`` bytes.
+
+        Per-block size arrays are shared, not copied — a relocation
+        changes where a region sits in the composed address space, not
+        what its blocks compress to.  The scenario composer uses this
+        to place each workload instance's regions at a disjoint base
+        offset (:mod:`repro.scenario.compose`).
+        """
+        out = AddressLayout()
+        out.ranges = [
+            _Range(r.start + offset, r.end + offset, r.sizes)
+            for r in self.ranges
+        ]
+        return out
+
     def is_approx(self, addr: int) -> bool:
         for r in self.ranges:
             if r.start <= addr < r.end:

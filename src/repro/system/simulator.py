@@ -55,6 +55,11 @@ class SimResult:
     llc_stats: dict[str, float]
     dram_stats: dict[str, float]
     energy: EnergyBreakdown
+    #: per-core latency-bound cycle counts, in core-id order.  The
+    #: scenario contention experiments read these to compute per-core
+    #: slowdown vs a solo run; part of the engine-equivalence contract
+    #: like every other replay-derived field.
+    core_cycles: tuple[float, ...] = ()
     scale_factor: float = 1.0
     #: multiplier for workloads whose iteration count varies by design
     iteration_factor: float = 1.0
@@ -332,6 +337,7 @@ class TimingSystem:
             llc_stats=llc_stats,
             dram_stats=dram_stats,
             energy=energy,
+            core_cycles=tuple(float(c.cycles) for c in cores),
             scale_factor=trace.scale_factor,
         )
 

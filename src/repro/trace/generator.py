@@ -100,25 +100,22 @@ def _phase_addresses(
     return addrs
 
 
-def generate_trace(
+def budget_iterations(
     spec: TraceSpec,
     mem: ApproxMemory,
-    num_cores: int = 1,
-    max_accesses_per_core: int = 300_000,
-    seed: int = 0,
-) -> GeneratedTrace:
-    """Build per-core traces for a workload's main loop.
+    num_cores: int,
+    max_accesses_per_core: int,
+) -> int:
+    """Iterations actually simulated under the per-core access budget.
 
-    Deterministic in ``(spec, mem layout, num_cores,
-    max_accesses_per_core, seed)``: the only randomness is the
-    seeded per-access gap jitter that drifts cores out of lockstep.
-    The sweep engine relies on this determinism to rebuild identical
-    traces in the parent process regardless of where the functional
-    jobs ran.  When the spec's full iteration count would exceed the
-    per-core access budget, a prefix of iterations is generated and
-    recorded in the result's ``scale_factor``.
+    The cost of one iteration for one core is derived from the spec's
+    phases; when the full iteration count would blow the budget, a
+    prefix is simulated and the caller reports the
+    :attr:`GeneratedTrace.scale_factor`.  Exposed separately from
+    :func:`generate_trace` so the scenario harness can compute scale
+    factors without paying for trace generation (e.g. on a warm sweep
+    cache).
     """
-    # Cost of one iteration for one core (accesses), to budget iterations.
     per_iter = 0
     for phase in spec.phases:
         region = mem.region(phase.region)
@@ -131,11 +128,50 @@ def generate_trace(
             (1 if phase.reads else 0) + (1 if phase.writes else 0)
         )
     per_iter = max(per_iter, 1)
-    iters_sim = max(1, min(spec.iterations, max_accesses_per_core // per_iter))
+    return max(1, min(spec.iterations, max_accesses_per_core // per_iter))
 
-    rng = np.random.default_rng(seed)
+
+def generate_trace(
+    spec: TraceSpec,
+    mem: ApproxMemory,
+    num_cores: int = 1,
+    max_accesses_per_core: int = 300_000,
+    seed: int = 0,
+    per_core_streams: bool = False,
+) -> GeneratedTrace:
+    """Build per-core traces for a workload's main loop.
+
+    Deterministic in ``(spec, mem layout, num_cores,
+    max_accesses_per_core, seed, per_core_streams)``: the only
+    randomness is the seeded per-access gap jitter that drifts cores
+    out of lockstep.  The sweep engine relies on this determinism to
+    rebuild identical traces in the parent process regardless of where
+    the functional jobs ran.  When the spec's full iteration count
+    would exceed the per-core access budget, a prefix of iterations is
+    generated and recorded in the result's ``scale_factor``.
+
+    By default all cores draw jitter from one sequential RNG stream
+    (the historical behaviour — existing single-workload traces stay
+    bit-identical).  With ``per_core_streams`` each core draws from its
+    own :class:`~numpy.random.SeedSequence` child of ``seed``, so a
+    core's jitter no longer depends on how much trace the cores before
+    it generated.  Scenario composition spawns *instance*-level child
+    seeds the same way (:func:`repro.scenario.compose.instance_seeds`),
+    which is what keeps two instances of one workload from emitting
+    identical streams.
+    """
+    iters_sim = budget_iterations(spec, mem, num_cores, max_accesses_per_core)
+
+    if per_core_streams:
+        core_rngs = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(seed).spawn(max(num_cores, 1))
+        ]
+    else:
+        shared_rng = np.random.default_rng(seed)
     cores: list[np.ndarray] = []
     for core in range(num_cores):
+        rng = core_rngs[core] if per_core_streams else shared_rng
         fragments: list[np.ndarray] = []
         for iteration in range(iters_sim):
             for phase in spec.phases:

@@ -34,6 +34,58 @@ def test_evaluate_subset(capsys):
     assert "Table 3" in out and "Figure 13" in out
 
 
+def test_scenario_list(capsys):
+    assert main(["scenario", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("heat+lbm", "kmeans4+bscholes4", "all7"):
+        assert name in out
+
+
+def test_scenario_command_small(capsys):
+    code = main([
+        "scenario", "heat@1+lbm@1",
+        "--scale", "0.15", "--accesses", "3000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "weighted speedup" in out
+    assert "per-instance contention" in out
+    assert "per-core slowdown" in out
+    assert "heat#0" in out and "lbm#1" in out
+
+
+def test_scenario_without_baseline_design(capsys):
+    code = main([
+        "scenario", "heat@1+lbm@1",
+        "--scale", "0.15", "--accesses", "3000", "--designs", "AVR",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "weighted speedup" in out
+    assert "mix time" not in out  # nothing to normalize against
+
+
+def test_scenario_rejects_unknown_mix(capsys):
+    assert main(["scenario", "definitely_not_a_workload"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_scenario_rejects_too_few_cores(capsys):
+    assert main(["scenario", "heat@2+lbm@2", "--cores", "2"]) == 2
+    assert "needs 4 cores" in capsys.readouterr().err
+
+
+def test_rejects_nonpositive_cores_and_accesses():
+    for argv in (
+        ["workload", "heat", "--cores", "0"],
+        ["workload", "heat", "--accesses", "0"],
+        ["evaluate", "--cores", "-3"],
+        ["scenario", "heat+lbm", "--accesses", "-1"],
+    ):
+        with pytest.raises(SystemExit):
+            main(argv)
+
+
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])

@@ -136,14 +136,16 @@ class TestCache:
         assert warm.stats.executed == 0
 
     def test_warm_cache_skips_trace_generation(self, tmp_path, monkeypatch):
-        import repro.harness.sweep as sweep_mod
+        # Trace generation now lives behind the (lazy) scenario
+        # composition seam; a fully warm cache must never reach it.
+        import repro.harness.scenario as scenario_mod
 
         run_sweep(SPEC, jobs=1, cache_dir=tmp_path)
 
         def boom(*args, **kwargs):
             raise AssertionError("trace regenerated on a fully warm cache")
 
-        monkeypatch.setattr(sweep_mod, "generate_trace", boom)
+        monkeypatch.setattr(scenario_mod, "generate_trace", boom)
         warm = run_sweep(SPEC, jobs=1, cache_dir=tmp_path)
         assert warm.stats.executed == 0
 
