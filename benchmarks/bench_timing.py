@@ -39,7 +39,7 @@ import time
 
 from repro import __version__
 from repro.common.config import SystemConfig
-from repro.common.types import Design
+from repro.designs import AVR, BASELINE, DGANGER, TRUNCATE, list_designs, resolve_designs
 from repro.harness.runner import _build_layout
 from repro.harness.sweep import SweepPoint, run_functional_job
 from repro.system.factory import build_system
@@ -48,7 +48,7 @@ from repro.workloads import WORKLOADS
 
 #: the largest seed trace at the default per-core access budget
 DEFAULT_WORKLOAD = "kmeans"
-BENCH_DESIGNS = (Design.BASELINE, Design.TRUNCATE, Design.DGANGER, Design.AVR)
+BENCH_DESIGNS = (BASELINE, TRUNCATE, DGANGER, AVR)
 
 
 def build_context(workload_name: str, scale: float, cores: int, accesses: int, seed: int):
@@ -58,8 +58,8 @@ def build_context(workload_name: str, scale: float, cores: int, accesses: int, s
         max_accesses_per_core=accesses,
     )
     workload = point.make()
-    reference = run_functional_job(point, Design.BASELINE)
-    avr = run_functional_job(point, Design.AVR)
+    reference = run_functional_job(point, BASELINE)
+    avr = run_functional_job(point, AVR)
     layout = _build_layout(workload, avr)
     config = SystemConfig.scaled(num_cores=cores)
     trace = generate_trace(
@@ -106,20 +106,13 @@ def compare(design, config, layout, trace, footprint, repeat: int = 1):
 
 
 def parse_designs(names: list[str] | None, default: tuple) -> tuple:
+    """Resolve --designs through the open registry (any registered name)."""
     if not names:
         return default
-    by_value = {d.value.lower(): d for d in Design}
-    by_name = {d.name.lower(): d for d in Design}
-    out = []
-    for name in names:
-        design = by_value.get(name.lower()) or by_name.get(name.lower())
-        if design is None:
-            raise SystemExit(
-                f"unknown design {name!r}; choose from "
-                f"{sorted(by_value)} (or enum names {sorted(by_name)})"
-            )
-        out.append(design)
-    return tuple(out)
+    try:
+        return resolve_designs(names)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def main(argv=None) -> int:
@@ -155,7 +148,7 @@ def main(argv=None) -> int:
 
     if args.check:
         scale, cores, accesses = min(args.scale, 0.15), 2, min(args.accesses, 4_000)
-        designs = parse_designs(args.designs, tuple(Design))
+        designs = parse_designs(args.designs, resolve_designs(list_designs()))
     else:
         scale, cores, accesses = args.scale, args.cores, args.accesses
         designs = parse_designs(args.designs, BENCH_DESIGNS)
@@ -181,7 +174,8 @@ def main(argv=None) -> int:
     failures = 0
     best = 0.0
     breakdown = {}
-    print(f"{'design':>9} {'reference':>10} {'vectorized':>11} "
+    width = max(9, max(len(d.value) for d in designs))
+    print(f"{'design':>{width}} {'reference':>10} {'vectorized':>11} "
           f"{'speedup':>8}  identical")
     for design in designs:
         ref_s, vec_s, diffs = compare(
@@ -197,7 +191,7 @@ def main(argv=None) -> int:
             "speedup": round(speedup, 2),
             "identical": ok,
         }
-        print(f"{design.value:>9} {ref_s:9.2f}s {vec_s:10.2f}s "
+        print(f"{design.value:>{width}} {ref_s:9.2f}s {vec_s:10.2f}s "
               f"{speedup:7.2f}x  {'yes' if ok else f'NO {diffs}'}", flush=True)
 
     if args.json:

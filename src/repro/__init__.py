@@ -19,19 +19,43 @@ Public API highlights:
   scenario subsystem: multi-programmed workload mixes with per-core
   slowdown / weighted-speedup contention metrics (see
   :mod:`repro.scenario` and :mod:`repro.harness.scenario`).
+* :class:`repro.DesignSpec` / :func:`repro.register_design` — the open
+  design registry (:mod:`repro.designs`): design points are
+  registrable values; the five paper designs are shipped entries and
+  the legacy ``Design`` enum is a deprecated alias layer.
+* :class:`repro.ExperimentSpec` / :func:`repro.run_experiment` — the
+  declarative experiment facade (:mod:`repro.experiment`): a whole
+  evaluation as one TOML/JSON-serializable, cache-addressable value.
 """
 
 from .common import Design, ErrorThresholds, SystemConfig
 from .compression import AVRCompressor
 
-# 1.4.0: the Scenario subsystem.  SimResult grew per-core cycle counts
-# and sweep results gained scenario-qualified identities, so the bump
-# also invalidates every scenario-unaware on-disk sweep cache entry.
-__version__ = "1.4.0"
+# 1.5.0: the open design registry + declarative Experiment API.
+# Designs are DesignSpec values (not enum members) inside job specs
+# now, so the bump also invalidates every registry-unaware on-disk
+# sweep cache entry.
+__version__ = "1.5.0"
 
 #: sweep-engine names re-exported lazily so ``import repro`` stays
 #: lightweight (the harness pulls in every simulator module).
 _SWEEP_EXPORTS = ("SweepPoint", "SweepResult", "SweepSpec", "run_sweep")
+
+#: design-registry names, re-exported lazily for the same reason
+_DESIGN_EXPORTS = {
+    "DesignSpec": ("repro.designs", "DesignSpec"),
+    "register_design": ("repro.designs", "register_design"),
+    "get_design": ("repro.designs", "get_design"),
+    "list_designs": ("repro.designs", "list_designs"),
+    "PAPER_DESIGNS": ("repro.designs", "PAPER_DESIGNS"),
+}
+
+#: experiment-facade names, re-exported lazily for the same reason
+_EXPERIMENT_EXPORTS = {
+    "ExperimentSpec": ("repro.experiment", "ExperimentSpec"),
+    "ExperimentResult": ("repro.experiment", "ExperimentResult"),
+    "run_experiment": ("repro.experiment", "run_experiment"),
+}
 
 #: scenario names re-exported lazily for the same reason
 _SCENARIO_EXPORTS = {
@@ -44,6 +68,8 @@ _SCENARIO_EXPORTS = {
     "evaluate_scenario": ("repro.harness.scenario", "evaluate_scenario"),
 }
 
+_LAZY_EXPORTS = {**_DESIGN_EXPORTS, **_EXPERIMENT_EXPORTS, **_SCENARIO_EXPORTS}
+
 __all__ = [
     "AVRCompressor",
     "Design",
@@ -51,7 +77,7 @@ __all__ = [
     "SystemConfig",
     "__version__",
     *_SWEEP_EXPORTS,
-    *_SCENARIO_EXPORTS,
+    *_LAZY_EXPORTS,
 ]
 
 
@@ -60,9 +86,9 @@ def __getattr__(name: str):
         from .harness import sweep
 
         return getattr(sweep, name)
-    if name in _SCENARIO_EXPORTS:
+    if name in _LAZY_EXPORTS:
         import importlib
 
-        module, attr = _SCENARIO_EXPORTS[name]
+        module, attr = _LAZY_EXPORTS[name]
         return getattr(importlib.import_module(module), attr)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

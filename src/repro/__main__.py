@@ -1,19 +1,23 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
 Commands:
 
-* ``evaluate``  — regenerate the paper's tables and figures
-* ``workload``  — run one workload under one design and report
-* ``scenario``  — co-run a multi-programmed workload mix and report
+* ``evaluate``   — regenerate the paper's tables and figures
+* ``workload``   — run one workload under one design and report
+* ``scenario``   — co-run a multi-programmed workload mix and report
   per-core slowdown, weighted speedup and shared-LLC pressure
-* ``ablate``    — run the LLC / compressor ablation studies
-* ``overheads`` — print the §4.2 hardware-overhead accounting
+* ``experiment`` — run a declarative experiment spec (TOML/JSON)
+* ``designs``    — list the registered design points
+* ``ablate``     — run the LLC / compressor ablation studies
+* ``overheads``  — print the §4.2 hardware-overhead accounting
 
-All simulation commands accept ``--jobs N`` to fan the evaluation
-grid's job units out over ``N`` worker processes (``1`` = serial,
-bit-identical to parallel runs), ``--cache-dir PATH`` to memoize job
-results on disk so repeated runs skip completed points, and
-``--engine {vectorized,reference}`` to select the timing-replay
+``--designs`` / ``--design`` options accept any registered design name
+(see ``python -m repro designs``); unknown names fail with close-match
+suggestions.  All simulation commands accept ``--jobs N`` to fan the
+evaluation grid's job units out over ``N`` worker processes (``1`` =
+serial, bit-identical to parallel runs), ``--cache-dir PATH`` to
+memoize job results on disk so repeated runs skip completed points,
+and ``--engine {vectorized,reference}`` to select the timing-replay
 implementation (the batched fast path and the reference loop produce
 bit-identical results).
 """
@@ -24,7 +28,7 @@ import argparse
 import sys
 
 from .common.config import SystemConfig
-from .common.types import COMPARED_DESIGNS, Design
+from .designs import get_design, list_designs, resolve_designs
 from .system.simulator import ENGINES
 from .harness import (
     evaluate_all,
@@ -51,6 +55,21 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _parse_designs(names, default, ensure_baseline=False):
+    """Resolve CLI design names through the registry.
+
+    Unknown names surface :func:`repro.designs.get_design`'s
+    "did you mean ..." ``ValueError`` (listing every registered
+    design) instead of a raw enum ``KeyError``.  ``ensure_baseline``
+    prepends the baseline design when absent — the evaluation tables
+    normalize against it.
+    """
+    designs = resolve_designs(names) if names else default
+    if ensure_baseline and get_design("baseline") not in designs:
+        designs = (get_design("baseline"),) + designs
+    return designs
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload size multiplier (default 1.0)")
@@ -73,16 +92,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "bit-identical")
 
 
-def cmd_evaluate(args: argparse.Namespace) -> int:
-    config = SystemConfig.scaled(num_cores=args.cores or 8)
-    names = tuple(args.workloads) if args.workloads else None
-    evals = evaluate_all(
-        names=names, config=config, scale=args.scale, seed=args.seed,
-        max_accesses_per_core=args.accesses,
-        jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
-    )
+def _print_evaluations(evals) -> None:
+    from .harness.experiments import compared_designs
+
     order = list(evals)
-    designs = [d.value for d in COMPARED_DESIGNS]
+    designs = [d.value for d in compared_designs(evals)]
     print(format_table("Table 3: output error (%)",
                        table3_output_error(evals), "{:.2f}", col_order=order))
     print()
@@ -100,24 +114,53 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print()
     print(format_table("Figure 13: LLC MPKI (norm.)",
                        fig13_mpki(evals), "{:.2f}", col_order=designs))
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from .harness import ALL_DESIGNS
+
+    config = SystemConfig.scaled(num_cores=args.cores or 8)
+    names = tuple(args.workloads) if args.workloads else None
+    try:
+        designs = _parse_designs(args.designs, ALL_DESIGNS, ensure_baseline=True)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    evals = evaluate_all(
+        names=names, config=config, scale=args.scale, seed=args.seed,
+        designs=designs, max_accesses_per_core=args.accesses,
+        jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
+    )
+    _print_evaluations(evals)
     return 0
 
 
 def cmd_workload(args: argparse.Namespace) -> int:
+    from .harness import ALL_DESIGNS
+
     config = SystemConfig.scaled(num_cores=args.cores or 8)
+    try:
+        designs = _parse_designs(args.designs, ALL_DESIGNS, ensure_baseline=True)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     ev = evaluate_workload(
         args.name, config=config, scale=args.scale, seed=args.seed,
-        max_accesses_per_core=args.accesses,
+        designs=designs, max_accesses_per_core=args.accesses,
         jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
     )
     print(f"{args.name}: footprint {ev.footprint_bytes / 1e6:.1f} MB, "
           f"AVR ratio {ev.avr_compression_ratio:.1f}:1, "
           f"footprint vs baseline {ev.footprint_vs_baseline * 100:.0f}%")
-    header = f"{'design':>9} {'error %':>8} {'time':>6} {'traffic':>8} {'AMAT':>6} {'MPKI':>6}"
+    width = max(16, max(len(d.value) for d in designs))
+    header = (f"{'design':>{width}} {'error %':>8} {'time':>6} "
+              f"{'traffic':>8} {'AMAT':>6} {'MPKI':>6}")
     print(header)
-    for design in COMPARED_DESIGNS:
+    for design in designs:
+        if design == "baseline" or design not in ev.runs:
+            continue
         run = ev.runs[design]
-        print(f"{design.value:>9} {run.output_error * 100:8.3f}"
+        print(f"{design.value:>{width}} {run.output_error * 100:8.3f}"
               f" {ev.normalized(design, 'time'):6.2f}"
               f" {ev.normalized(design, 'traffic'):8.2f}"
               f" {ev.normalized(design, 'amat'):6.2f}"
@@ -138,8 +181,11 @@ def cmd_scenario(args: argparse.Namespace) -> int:
               "(e.g. kmeans*2@2+heat@4)")
         return 0
 
+    from .harness.scenario import SCENARIO_DESIGNS
+
     try:
         scenario = get_scenario(args.mix).scaled(args.scale)
+        designs = _parse_designs(args.designs, SCENARIO_DESIGNS)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -148,10 +194,6 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         print(f"error: mix {scenario.name!r} needs {scenario.total_cores} "
               f"cores, --cores gave {cores}", file=sys.stderr)
         return 2
-    designs = tuple(
-        Design(d) for d in (args.designs or [d.value for d in
-                                             (Design.BASELINE, Design.AVR)])
-    )
     config = SystemConfig.scaled(num_cores=cores)
     ev = evaluate_scenario(
         scenario, config=config, designs=designs, seed=args.seed,
@@ -162,7 +204,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     print(f"scenario {ev.name}: {scenario.mix_string()} — "
           f"{scenario.num_instances} instances on {cores} cores, "
           f"footprint {ev.footprint_bytes / 1e6:.1f} MB")
-    with_baseline = Design.BASELINE in ev.runs
+    with_baseline = "baseline" in ev.runs
     summary = {
         design.value: {
             "wspeedup": run.weighted_speedup,
@@ -207,9 +249,19 @@ def cmd_scenario(args: argparse.Namespace) -> int:
 
 def cmd_ablate(args: argparse.Namespace) -> int:
     config = SystemConfig.scaled(num_cores=args.cores or 8)
+    try:
+        design = get_design(args.design)
+        if not design.consumes_avr_options:
+            raise ValueError(
+                f"design {design.name!r} cannot consume LLC ablation "
+                "options; pick an AVR-family design"
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     llc = run_llc_ablations(
         args.name, config=config, scale=args.scale,
-        max_accesses_per_core=args.accesses,
+        max_accesses_per_core=args.accesses, design=design,
         jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
     )
     full = llc["full AVR"]
@@ -229,6 +281,75 @@ def cmd_ablate(args: argparse.Namespace) -> int:
     )
     print(format_table(f"Compressor ablations on {args.name} data", comp,
                        "{:.2f}", col_order=["ratio", "mean_error_pct", "success_pct"]))
+    return 0
+
+
+def cmd_designs(_args: argparse.Namespace) -> int:
+    from .designs import get_design
+
+    print("registered designs:")
+    for name in list_designs():
+        spec = get_design(name)
+        print(f"  {name:>16}  {spec.doc}")
+    print("add your own with repro.designs.register_design "
+          "(see examples/custom_design.py)")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiment import ExperimentSpec, run_experiment
+
+    try:
+        spec = ExperimentSpec.from_file(args.spec)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"experiment {spec.name!r} ({spec.content_hash()[:12]}): "
+          f"{len(spec.workloads) or 'all'} workload(s), "
+          f"{len(spec.scenarios)} scenario(s), designs "
+          f"{', '.join(spec.designs)}")
+    result = run_experiment(
+        spec, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
+    )
+
+    if result.evaluations:
+        try:
+            evals = result.by_workload()
+        except ValueError:
+            evals = None
+        if evals is not None:
+            print()
+            _print_evaluations(evals)
+        else:
+            print()
+            for point, ev in result.evaluations.items():
+                row = "  ".join(
+                    f"{d.value}:{ev.normalized(d, 'time'):.2f}"
+                    for d in ev.runs
+                    if d != "baseline" and "baseline" in ev.runs
+                )
+                print(f"{point.workload} scale={point.scale} "
+                      f"seed={point.seed}: time {row}")
+    for sev in result.scenario_evaluations.values():
+        print()
+        summary = {
+            design.value: {"wspeedup": run.weighted_speedup,
+                           "LLC infl": run.llc_miss_inflation}
+            for design, run in sev.runs.items()
+        }
+        print(format_table(
+            f"scenario {sev.name} (weighted speedup, ideal "
+            f"{sev.scenario.num_instances})",
+            summary, "{:.3f}", col_order=["wspeedup", "LLC infl"]))
+
+    stats = result.stats
+    print()
+    print(f"sweep: {stats.executed} job(s) executed, "
+          f"{stats.cache_hits} cache hit(s), {stats.cache_misses} miss(es)")
+    if args.expect_cached and stats.executed:
+        print(f"error: expected a fully cache-served run but "
+              f"{stats.executed} job(s) executed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -253,13 +374,42 @@ def main(argv: list[str] | None = None) -> int:
     p_eval = sub.add_parser("evaluate", help="regenerate the paper's evaluation")
     p_eval.add_argument("--workloads", nargs="*", choices=sorted(WORKLOADS),
                         help="subset of workloads (default: all)")
+    p_eval.add_argument("--designs", nargs="+", metavar="DESIGN", default=None,
+                        help="design points to compare, by registry name "
+                             "(see 'designs'; default: the five paper designs)")
     _add_common(p_eval)
     p_eval.set_defaults(func=cmd_evaluate)
 
     p_wl = sub.add_parser("workload", help="evaluate one workload")
     p_wl.add_argument("name", choices=sorted(WORKLOADS))
+    p_wl.add_argument("--designs", nargs="+", metavar="DESIGN", default=None,
+                      help="design points to compare, by registry name "
+                           "(see 'designs'; default: the five paper designs)")
     _add_common(p_wl)
     p_wl.set_defaults(func=cmd_workload)
+
+    p_ex = sub.add_parser(
+        "experiment",
+        help="run a declarative experiment spec (TOML/JSON)",
+        description="Load an ExperimentSpec file, run it through the "
+                    "sweep engine, and print the evaluation tables. "
+                    "Spec-driven runs share the on-disk result cache "
+                    "with programmatic sweeps of the same points.",
+    )
+    p_ex.add_argument("spec", help="path to a .toml or .json experiment spec")
+    p_ex.add_argument("--jobs", type=_positive_int, default=None,
+                      help="override the spec's worker-process count")
+    p_ex.add_argument("--cache-dir", default=None, metavar="PATH",
+                      help="override the spec's result-cache directory")
+    p_ex.add_argument("--engine", choices=ENGINES, default=None,
+                      help="override the spec's timing-replay engine")
+    p_ex.add_argument("--expect-cached", action="store_true",
+                      help="exit 1 unless every job was served from the "
+                           "cache (CI warm-cache assertion)")
+    p_ex.set_defaults(func=cmd_experiment)
+
+    p_ds = sub.add_parser("designs", help="list the registered design points")
+    p_ds.set_defaults(func=cmd_designs)
 
     p_sc = sub.add_parser(
         "scenario",
@@ -269,14 +419,17 @@ def main(argv: list[str] | None = None) -> int:
                     "to enumerate the shipped mixes.",
     )
     p_sc.add_argument("mix", help="named mix, mix string, or 'list'")
-    p_sc.add_argument("--designs", nargs="+", metavar="DESIGN",
-                      choices=sorted(d.value for d in Design),
-                      help="designs to compare (default: baseline + AVR)")
+    p_sc.add_argument("--designs", nargs="+", metavar="DESIGN", default=None,
+                      help="designs to compare, by registry name "
+                           "(default: baseline + AVR)")
     _add_common(p_sc)
     p_sc.set_defaults(func=cmd_scenario)
 
     p_ab = sub.add_parser("ablate", help="run the ablation studies")
     p_ab.add_argument("name", nargs="?", default="heat", choices=sorted(WORKLOADS))
+    p_ab.add_argument("--design", default="AVR", metavar="DESIGN",
+                      help="AVR-family design to ablate, by registry name "
+                           "(default: %(default)s)")
     _add_common(p_ab)
     p_ab.set_defaults(func=cmd_ablate)
 

@@ -17,10 +17,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..common import bitops
 from ..common.constants import BLOCK_CACHELINES, VALUES_PER_BLOCK
 from ..common.types import DataType, ErrorThresholds
 from ..compression.compressor import AVRCompressor
-from ..compression.truncate import TRUNCATE_RATIO, truncate_roundtrip
+from ..compression.truncate import KEPT_MANTISSA_BITS, TRUNCATE_RATIO
 from ..doppelganger import dedup_roundtrip
 from .region import Region
 
@@ -113,18 +114,53 @@ class AVRApproximator(Approximator):
 
 
 class TruncateApproximator(Approximator):
-    """16-bit mantissa truncation round-trip (flat 2:1)."""
+    """Mantissa-truncation round-trip (flat ``ratio``:1 storage).
+
+    The default models the paper's half-width Truncate baseline
+    (bfloat16-style: 7 kept mantissa bits, 2:1).  Registry variants
+    with narrower stored lines tighten it: :meth:`for_line_bytes` maps
+    a design's stored line width to the kept value width, keeping the
+    functional and timing views of a truncate-family design consistent.
+    """
 
     name = "truncate"
+
+    def __init__(
+        self,
+        kept_mantissa_bits: int = KEPT_MANTISSA_BITS,
+        ratio: float = TRUNCATE_RATIO,
+    ) -> None:
+        if ratio < 1.0:
+            raise ValueError(f"truncation ratio must be >= 1, got {ratio}")
+        self.kept_mantissa_bits = kept_mantissa_bits
+        self.ratio = ratio
+
+    @classmethod
+    def for_line_bytes(cls, approx_line_bytes: int | None) -> "TruncateApproximator":
+        """The truncation matching a design's stored line width.
+
+        ``approx_line_bytes=32`` is the paper baseline (16-bit values:
+        sign + 8-bit exponent + 7 mantissa bits); narrower lines drop
+        further mantissa bits proportionally, down to the sign+exponent-
+        only point for quarter-width lines.
+        """
+        line = approx_line_bytes if approx_line_bytes is not None else 32
+        stored_value_bits = 32 * line // 64
+        return cls(
+            kept_mantissa_bits=max(0, stored_value_bits - 9),
+            ratio=64.0 / line,
+        )
 
     def apply(self, region: Region) -> SyncStats:
         if region.dtype != DataType.FLOAT32:
             raise NotImplementedError("Truncate models float32 data only")
-        region.array[...] = truncate_roundtrip(region.array)
+        region.array[...] = bitops.truncate_mantissa(
+            np.asarray(region.array, dtype=np.float32), self.kept_mantissa_bits
+        )
         nblocks = region.num_blocks
-        stored = int(round(nblocks * BLOCK_CACHELINES / TRUNCATE_RATIO))
+        stored = int(round(nblocks * BLOCK_CACHELINES / self.ratio))
         region.block_sizes = np.full(
-            nblocks, BLOCK_CACHELINES // int(TRUNCATE_RATIO), dtype=np.int32
+            nblocks, max(1, int(BLOCK_CACHELINES // self.ratio)), dtype=np.int32
         )
         return SyncStats(
             blocks=nblocks, stored_cachelines=stored, compressed_blocks=nblocks

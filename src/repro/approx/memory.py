@@ -32,21 +32,31 @@ from .region import Region, padded_pages
 
 
 def approximator_for(
-    design: Design,
+    design,
     thresholds: ErrorThresholds | None = None,
     check_mode: str = "hybrid",
     dganger_threshold: float = 0.02,
 ) -> Approximator:
-    """The approximation strategy each design applies to marked data."""
-    if design in (Design.BASELINE, Design.ZERO_AVR):
+    """The approximation strategy a design applies to marked data.
+
+    ``design`` is anything :func:`repro.designs.get_design` resolves
+    (spec, registry name, or legacy :class:`Design` enum member); the
+    spec's ``approximator`` field selects the strategy, and its
+    capacity/compression parameters configure it (a truncate-family
+    design's functional value width follows its stored line width).
+    """
+    from ..designs import get_design
+
+    spec = get_design(design)
+    if spec.approximator == "exact":
         return ExactApproximator()
-    if design == Design.AVR:
+    if spec.approximator == "avr":
         return AVRApproximator(thresholds, check_mode)
-    if design == Design.TRUNCATE:
-        return TruncateApproximator()
-    if design == Design.DGANGER:
+    if spec.approximator == "truncate":
+        return TruncateApproximator.for_line_bytes(spec.approx_line_bytes)
+    if spec.approximator == "dganger":
         return DoppelgangerApproximator(dganger_threshold)
-    raise ValueError(f"unknown design {design}")
+    raise ValueError(f"unknown approximator {spec.approximator!r}")
 
 
 @dataclass

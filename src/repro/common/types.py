@@ -51,7 +51,16 @@ class EvictionOutcome(enum.IntEnum):
 
 
 class Design(enum.Enum):
-    """The evaluated system design points."""
+    """The five paper design points — **deprecated alias layer**.
+
+    Design points are open registry entries now (see
+    :mod:`repro.designs`); these enum members remain importable for
+    pre-registry code and are accepted anywhere a design is expected
+    (every API resolves them through
+    :func:`repro.designs.get_design`).  New code should use registry
+    names or :class:`~repro.designs.DesignSpec` values — new design
+    points exist only in the registry and have no enum member.
+    """
 
     BASELINE = "baseline"
     DGANGER = "dganger"
@@ -62,6 +71,7 @@ class Design(enum.Enum):
 
 #: Design points shown in the figures, in paper order (baseline is the
 #: normalization reference and not plotted itself except for energy).
+#: Deprecated alias of :data:`repro.designs.COMPARED`.
 COMPARED_DESIGNS = (Design.DGANGER, Design.TRUNCATE, Design.ZERO_AVR, Design.AVR)
 
 

@@ -1,0 +1,311 @@
+"""Declarative experiments: one serializable value describes a whole run.
+
+An :class:`ExperimentSpec` composes everything the evaluation stack can
+vary — workloads and multi-programmed scenarios, registered designs,
+machine size, grid axes (scales / seeds / error thresholds), trace
+budget, replay engine, and execution settings (worker processes, cache
+directory) — into a single frozen value that loads from and dumps to
+TOML or JSON.  :func:`run_experiment` executes it through the sweep
+engine, so a spec-driven run decomposes into exactly the same job units
+(with exactly the same content-hash cache keys) as the equivalent
+programmatic :func:`~repro.harness.sweep.run_sweep` /
+:func:`~repro.harness.evaluate_all` /
+:func:`~repro.harness.scenario.evaluate_scenario` call — those remain
+as thin shims over the same engine, and a warm cache serves either
+path.
+
+::
+
+    spec = ExperimentSpec.from_file("examples/experiment_spec.toml")
+    result = run_experiment(spec)
+    result.by_workload()["heat"].normalized("AVR", "time")
+
+Specs are identity-stable: :meth:`ExperimentSpec.content_hash` is a
+SHA-256 over the spec's canonical form (the same canonicalization the
+sweep cache uses), so two specs hash equal iff they describe the same
+experiment — file round-trips are bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any
+
+from .common.config import SystemConfig
+from .common.types import ErrorThresholds
+from .designs import resolve_designs
+from .harness.cache import content_key
+
+__all__ = ["ExperimentResult", "ExperimentSpec", "run_experiment"]
+
+#: default machine width when the spec pins neither cores nor scenarios
+DEFAULT_CORES = 8
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experiment — workloads/scenarios x designs x settings.
+
+    Every field is a plain scalar or tuple, so specs are hashable,
+    picklable, canonicalizable into cache keys, and round-trip through
+    TOML/JSON bit-identically.  Designs and scenarios are referenced by
+    *name* (registry names / mix strings); resolution happens at
+    construction (typos fail fast, with suggestions).
+    """
+
+    #: label for reports and file names (not part of the grid identity)
+    name: str = "experiment"
+    #: workload names; empty = all seven paper workloads unless
+    #: ``scenarios`` is non-empty (mixes bring their own workloads)
+    workloads: tuple[str, ...] = ()
+    #: scenario registry names or mix strings (``heat@4+lbm@4``)
+    scenarios: tuple[str, ...] = ()
+    #: registered design names (see :func:`repro.designs.list_designs`)
+    designs: tuple[str, ...] = ("baseline", "dganger", "truncate", "ZeroAVR", "AVR")
+    #: workload size multipliers
+    scales: tuple[float, ...] = (1.0,)
+    #: trace-jitter seeds
+    seeds: tuple[int, ...] = (0,)
+    #: T2 error-threshold overrides (T1 = 2*T2); empty = per-workload
+    #: defaults
+    t2_thresholds: tuple[float, ...] = ()
+    #: trace accesses per core
+    max_accesses_per_core: int = 50_000
+    #: simulated cores; None derives it (scenario width, else 8)
+    num_cores: int | None = None
+    #: timing-replay engine (``vectorized`` or ``reference``)
+    engine: str = "vectorized"
+    #: default worker processes (overridable at :func:`run_experiment`)
+    jobs: int = 1
+    #: default on-disk result-cache directory (None = no cache)
+    cache_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        for name, kind in (("workloads", str), ("scenarios", str),
+                           ("designs", str), ("seeds", int)):
+            object.__setattr__(
+                self, name, tuple(kind(v) for v in getattr(self, name))
+            )
+        object.__setattr__(self, "scales", tuple(float(s) for s in self.scales))
+        object.__setattr__(
+            self, "t2_thresholds", tuple(float(t) for t in self.t2_thresholds)
+        )
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if not self.designs:
+            raise ValueError("an experiment needs at least one design")
+        # Fail fast, with did-you-mean suggestions, on unknown names.
+        resolve_designs(self.designs)
+        from .scenario import get_scenario
+        from .workloads import WORKLOADS
+
+        for scenario in self.scenarios:
+            get_scenario(scenario)
+        for workload in self.workloads:
+            if workload not in WORKLOADS:
+                raise ValueError(
+                    f"unknown workload {workload!r}; available: "
+                    f"{', '.join(sorted(WORKLOADS))}"
+                )
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    #: fields that do not affect results: the display label, execution
+    #: settings, and the engine (both engines are bit-identical, as the
+    #: sweep-cache keys already assume)
+    _NON_IDENTITY_FIELDS = frozenset({"name", "jobs", "cache_dir", "engine"})
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 of the spec's *grid identity*.
+
+        Built by the same canonicalization the sweep cache keys use, so
+        it is stable across processes and interpreter runs and blind to
+        everything that cannot change results: field ordering in a spec
+        file, the ``name`` label, ``jobs``/``cache_dir`` execution
+        settings, and the (bit-identical) replay ``engine``.  Two specs
+        hash equal iff they enumerate the same job units.
+        """
+        identity = tuple(
+            (f.name, getattr(self, f.name))
+            for f in fields(self)
+            if f.name not in self._NON_IDENTITY_FIELDS
+        )
+        return content_key("experiment", identity)
+
+    # ------------------------------------------------------------------
+    # execution view
+    # ------------------------------------------------------------------
+    def resolved_cores(self) -> int:
+        """Machine width: pinned, or wide enough for every scenario."""
+        if self.num_cores is not None:
+            return self.num_cores
+        from .scenario import get_scenario
+
+        widths = [get_scenario(s).total_cores for s in self.scenarios]
+        if self.workloads or not self.scenarios:
+            widths.append(DEFAULT_CORES)
+        return max(widths)
+
+    def to_sweep_spec(self):
+        """The :class:`~repro.harness.sweep.SweepSpec` this spec runs as.
+
+        The decomposition seam that makes spec-driven and programmatic
+        runs share cache entries: both enumerate identical job units.
+        """
+        from .harness.sweep import SweepSpec
+        from .scenario import get_scenario
+
+        thresholds = (
+            tuple(ErrorThresholds.from_t2(t) for t in self.t2_thresholds)
+            or (None,)
+        )
+        return SweepSpec(
+            workloads=self.workloads,
+            designs=resolve_designs(self.designs),
+            config=SystemConfig.scaled(num_cores=self.resolved_cores()),
+            scales=self.scales,
+            seeds=self.seeds,
+            thresholds=thresholds,
+            max_accesses_per_core=self.max_accesses_per_core,
+            scenarios=tuple(get_scenario(s) for s in self.scenarios),
+            engine=self.engine,
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_mapping(self) -> dict[str, Any]:
+        """Plain-scalar mapping form (tuples as lists, None omitted)."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value is None:
+                continue
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_mapping(cls, mapping: dict[str, Any]) -> "ExperimentSpec":
+        """Build a spec from a mapping, rejecting unknown keys."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown experiment spec keys {unknown}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**mapping)
+
+    def to_file(self, path: str | Path) -> Path:
+        """Write the spec as TOML (default) or JSON, by extension."""
+        path = Path(path)
+        mapping = self.to_mapping()
+        if path.suffix == ".json":
+            text = json.dumps(mapping, indent=2) + "\n"
+        else:
+            text = _dump_toml(mapping)
+        path.write_text(text)
+        return path
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ExperimentSpec":
+        """Load a spec from a ``.toml`` or ``.json`` file."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix == ".json":
+            return cls.from_mapping(json.loads(text))
+        import tomllib
+
+        return cls.from_mapping(tomllib.loads(text))
+
+
+def _dump_toml(mapping: dict[str, Any]) -> str:
+    """Minimal TOML emitter for the flat spec schema.
+
+    The stdlib parses TOML (``tomllib``) but cannot write it; specs are
+    flat scalars/lists, so a small exact emitter keeps the round trip
+    dependency-free and bit-stable.
+    """
+
+    def scalar(value: Any) -> str:
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, (int, float)):
+            return repr(value)
+        if isinstance(value, str):
+            return json.dumps(value)  # TOML basic strings == JSON strings
+        raise TypeError(f"cannot emit {type(value).__name__} as TOML: {value!r}")
+
+    lines = []
+    for key, value in mapping.items():
+        if isinstance(value, list):
+            lines.append(f"{key} = [{', '.join(scalar(v) for v in value)}]")
+        else:
+            lines.append(f"{key} = {scalar(value)}")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class ExperimentResult:
+    """A finished experiment: the spec plus its sweep results."""
+
+    spec: ExperimentSpec
+    sweep: Any  # SweepResult (kept loose to avoid import cycles)
+
+    @property
+    def stats(self):
+        """Execution accounting (jobs executed vs served from cache)."""
+        return self.sweep.stats
+
+    def by_workload(self):
+        """``{workload name: WorkloadEvaluation}`` (singleton grids)."""
+        return self.sweep.by_workload()
+
+    def by_scenario(self):
+        """``{scenario name: ScenarioEvaluation}`` (singleton grids)."""
+        return self.sweep.by_scenario()
+
+    @property
+    def evaluations(self):
+        """Raw per-point evaluations, keyed by sweep point."""
+        return self.sweep.evaluations
+
+    @property
+    def scenario_evaluations(self):
+        """Raw per-point scenario evaluations, keyed by scenario point."""
+        return self.sweep.scenario_evaluations
+
+
+def run_experiment(
+    spec: ExperimentSpec | str | Path,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
+    engine: str | None = None,
+) -> ExperimentResult:
+    """Execute an experiment spec (or spec file) end to end.
+
+    The declarative superset of :func:`~repro.harness.evaluate_all`,
+    :func:`~repro.harness.sweep.run_sweep` and
+    :func:`~repro.harness.scenario.evaluate_scenario`: the spec is
+    decomposed into the same sweep job units, so results are
+    bit-identical to the equivalent programmatic calls and cache
+    entries are shared with them.  ``jobs`` / ``cache_dir`` /
+    ``engine`` override the spec's execution settings without touching
+    its identity.
+    """
+    from .harness.sweep import run_sweep
+
+    if isinstance(spec, (str, Path)):
+        spec = ExperimentSpec.from_file(spec)
+    if engine is not None:
+        spec = replace(spec, engine=engine)
+    resolved_cache = cache_dir if cache_dir is not None else spec.cache_dir
+    sweep = run_sweep(
+        spec.to_sweep_spec(),
+        jobs=jobs if jobs is not None else spec.jobs,
+        cache_dir=resolved_cache,
+    )
+    return ExperimentResult(spec=spec, sweep=sweep)

@@ -6,7 +6,11 @@ evaluation grid as independent job units, :func:`run_sweep` executes
 them serially or over a process pool, and
 :class:`~repro.harness.cache.ResultCache` memoizes job results on disk.
 :func:`evaluate_all` / :func:`evaluate_workload` /
-:func:`regenerate_all` are convenience entry points layered on top.
+:func:`regenerate_all` are convenience entry points layered on top —
+as is the declarative facade :func:`repro.experiment.run_experiment`,
+which decomposes an :class:`~repro.experiment.ExperimentSpec` into the
+same job units (and therefore the same cache entries).  Designs are
+resolved through the open registry (:mod:`repro.designs`) everywhere.
 """
 
 from .ablations import (

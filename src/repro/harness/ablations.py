@@ -19,8 +19,9 @@ import numpy as np
 
 from ..common.config import SystemConfig
 from ..common.constants import VALUES_PER_BLOCK
-from ..common.types import CompressionMethod, Design
+from ..common.types import CompressionMethod
 from ..compression.compressor import AVRCompressor
+from ..designs import AVR, BASELINE, get_design, layout_source_design
 from ..compression.errors import relative_error
 from ..trace.generator import generate_trace
 from .runner import _build_layout
@@ -73,19 +74,30 @@ def run_llc_ablations(
     jobs: int = 1,
     cache_dir=None,
     engine: str = "vectorized",
+    design="AVR",
     **workload_kwargs,
 ) -> dict[str, AblationPoint]:
-    """Run the AVR timing system under each ablation variant.
+    """Run one AVR-family design under each LLC ablation variant.
 
-    Built on the sweep engine's job units: the two functional runs
-    (baseline reference, AVR) and each variant's timing replay are
-    independent jobs, fanned out over ``jobs`` workers and memoized in
-    ``cache_dir``.  The functional jobs share cache entries with
+    ``design`` is any registered AVR-family design (spec, name, or
+    legacy enum member) — a design that cannot consume ``avr_options``
+    is rejected up front.  Built on the sweep engine's job units: the
+    functional runs (baseline reference + the design's layout source)
+    and each variant's timing replay are independent jobs, fanned out
+    over ``jobs`` workers and memoized in ``cache_dir``.  The
+    functional jobs share cache entries with
     :func:`repro.harness.evaluate_all` sweeps of the same point, and
     the "full AVR" variant shares its timing entry with them too.
     """
     config = config or SystemConfig.scaled(num_cores=8)
     variants = variants if variants is not None else LLC_ABLATIONS
+    design = get_design(design)
+    if not design.consumes_avr_options:
+        raise ValueError(
+            f"design {design.name!r} cannot consume LLC ablation options; "
+            "pick an AVR-family design"
+        )
+    layout_design = layout_source_design(design)
     point = SweepPoint(
         workload=workload_name,
         scale=scale,
@@ -98,19 +110,19 @@ def run_llc_ablations(
 
     with _make_pool(jobs) as pool:
         functional_jobs = {
-            _functional_key(point, design): (run_functional_job, point, design)
-            for design in (Design.BASELINE, Design.AVR)
+            _functional_key(point, d): (run_functional_job, point, d)
+            for d in (BASELINE, layout_design)
         }
         functional, _ = _run_jobs(pool, cache, functional_jobs)
-        reference = functional[_functional_key(point, Design.BASELINE)]
-        avr_run = functional[_functional_key(point, Design.AVR)]
+        reference = functional[_functional_key(point, BASELINE)]
+        layout_run = functional[_functional_key(point, layout_design)]
 
-        layout = _build_layout(workload, avr_run)
+        layout = _build_layout(workload, layout_run)
         timing: dict[str, object] = {}
         timing_jobs: dict[str, tuple] = {}
         trace = None
         for options in variants.values():
-            key = _timing_key(point, Design.AVR, config, options)
+            key = _timing_key(point, design, config, options)
             cached = _cache_lookup(cache, key)
             if cached is not None:
                 timing[key] = cached
@@ -125,7 +137,7 @@ def run_llc_ablations(
                 )
             timing_jobs[key] = (
                 partial(run_timing_job, avr_options=options, engine=engine),
-                Design.AVR,
+                design,
                 config,
                 layout,
                 trace,
@@ -136,7 +148,7 @@ def run_llc_ablations(
 
     results: dict[str, AblationPoint] = {}
     for label, options in variants.items():
-        res = timing[_timing_key(point, Design.AVR, config, options)]
+        res = timing[_timing_key(point, design, config, options)]
         results[label] = AblationPoint(
             cycles=res.cycles,
             total_bytes=res.total_bytes,
@@ -178,9 +190,9 @@ def run_compressor_ablations(
         workload_kwargs=tuple(sorted(workload_kwargs.items())),
     )
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    key = _functional_key(point, Design.BASELINE)
+    key = _functional_key(point, BASELINE)
     functional, _ = _run_jobs(
-        _SerialExecutor(), cache, {key: (run_functional_job, point, Design.BASELINE)}
+        _SerialExecutor(), cache, {key: (run_functional_job, point, BASELINE)}
     )
     reference = functional[key]
     workload = point.make()

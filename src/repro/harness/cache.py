@@ -40,9 +40,12 @@ def _canonical(obj: Any) -> str:
     hashing by ``repr`` identity.
     """
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # Fields marked compare=False are outside a value's identity
+        # (e.g. a DesignSpec's builder callable) and stay out of keys.
         fields = ",".join(
             f"{f.name}={_canonical(getattr(obj, f.name))}"
             for f in dataclasses.fields(obj)
+            if f.compare
         )
         return f"{type(obj).__qualname__}({fields})"
     if isinstance(obj, Enum):

@@ -16,7 +16,8 @@ from ..common.constants import (
     BLOCKS_PER_PAGE,
     CMT_ENTRY_BITS,
 )
-from ..common.types import COMPARED_DESIGNS, Design, EvictionOutcome, LLCRequestOutcome
+from ..common.types import EvictionOutcome, LLCRequestOutcome
+from ..designs import AVR, BASELINE
 from ..energy.model import COMPONENTS
 from .runner import WorkloadEvaluation
 
@@ -59,18 +60,34 @@ def _geomean(values: list[float]) -> float:
     return float(np.exp(np.log(arr).mean())) if arr.size else 0.0
 
 
+def compared_designs(evals: dict[str, WorkloadEvaluation]) -> list:
+    """Non-baseline designs present in the evaluations, stable order.
+
+    Evaluation runs preserve the sweep's design order, so for the
+    default grid this is exactly the paper's ``COMPARED`` tuple; extra
+    registry designs appear after, in evaluation order.
+    """
+    out: list = []
+    for ev in evals.values():
+        for design in ev.runs:
+            if design != BASELINE and design not in out:
+                out.append(design)
+    return out
+
+
 def _normalized_metric(
     evals: dict[str, WorkloadEvaluation], metric: str
 ) -> dict[str, dict[str, float]]:
     """Per-workload design/baseline ratios plus a geomean column."""
+    compared = compared_designs(evals)
     out: dict[str, dict[str, float]] = {}
     for name, ev in evals.items():
         out[name] = {
             d.value: ev.normalized(d, metric)
-            for d in COMPARED_DESIGNS
+            for d in compared
             if d in ev.runs
         }
-    designs = [d.value for d in COMPARED_DESIGNS]
+    designs = [d.value for d in compared]
     out[GEOMEAN] = {
         d: _geomean([out[w][d] for w in evals if d in out[w]]) for d in designs
     }
@@ -129,9 +146,16 @@ def regenerate_all(
 def table3_output_error(
     evals: dict[str, WorkloadEvaluation]
 ) -> dict[str, dict[str, float]]:
-    """Table 3: application output error (%) per design."""
+    """Table 3: application output error (%) per design.
+
+    Rows cover every approximating design present in the evaluations
+    (exact designs — baseline, ZeroAVR — have zero error by
+    construction and are omitted, as in the paper).
+    """
     rows: dict[str, dict[str, float]] = {}
-    for design in (Design.DGANGER, Design.TRUNCATE, Design.AVR):
+    for design in compared_designs(evals):
+        if not design.runs_functional:
+            continue
         rows[design.value] = {
             name: ev.runs[design].output_error * 100.0
             for name, ev in evals.items()
@@ -164,14 +188,15 @@ def fig10_energy(evals) -> dict[str, dict[str, dict[str, float]]]:
     """Figure 10: energy breakdown per component, normalized to the
     baseline's *total* energy (so stacked bars compare directly)."""
     out: dict[str, dict[str, dict[str, float]]] = {}
+    compared = compared_designs(evals)
     for name, ev in evals.items():
         base_total = ev.baseline().timing.energy.total
         per_design: dict[str, dict[str, float]] = {
-            Design.BASELINE.value: {
+            BASELINE.value: {
                 c: j / base_total for c, j in ev.baseline().timing.energy.joules.items()
             }
         }
-        for design in COMPARED_DESIGNS:
+        for design in compared:
             if design not in ev.runs:
                 continue
             run = ev.runs[design]
@@ -187,10 +212,11 @@ def fig11_memory_traffic(evals) -> dict[str, dict[str, dict[str, float]]]:
     """Figure 11: DRAM traffic normalized to baseline, split into the
     approximate and non-approximate shares."""
     out: dict[str, dict[str, dict[str, float]]] = {}
+    compared = compared_designs(evals)
     for name, ev in evals.items():
         base_bytes = ev.baseline().timing.total_bytes
         per_design: dict[str, dict[str, float]] = {}
-        for design in COMPARED_DESIGNS:
+        for design in compared:
             if design not in ev.runs:
                 continue
             run = ev.runs[design].timing
@@ -222,7 +248,7 @@ def fig14_llc_requests(evals) -> dict[str, dict[str, float]]:
     """Figure 14: AVR LLC requests on approximate cachelines (%)."""
     out: dict[str, dict[str, float]] = {}
     for name, ev in evals.items():
-        stats = ev.runs[Design.AVR].timing.llc_stats
+        stats = ev.runs[AVR].timing.llc_stats
         counts = {
             label: stats.get(_REQUEST_STATS[outcome], 0)
             for outcome, label in REQUEST_CATEGORIES.items()
@@ -238,7 +264,7 @@ def fig15_llc_evictions(evals) -> dict[str, dict[str, float]]:
     """Figure 15: AVR LLC evictions of approximate cachelines (%)."""
     out: dict[str, dict[str, float]] = {}
     for name, ev in evals.items():
-        stats = ev.runs[Design.AVR].timing.llc_stats
+        stats = ev.runs[AVR].timing.llc_stats
         counts = {
             label: stats.get(_EVICTION_STATS[outcome], 0)
             for outcome, label in EVICTION_CATEGORIES.items()

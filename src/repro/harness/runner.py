@@ -23,20 +23,20 @@ import numpy as np
 
 from ..common.config import SystemConfig
 from ..common.constants import BLOCK_CACHELINES
-from ..common.types import COMPARED_DESIGNS, Design
+from ..designs import BASELINE, COMPARED, DesignMap, DesignSpec
 from ..system.layout import AddressLayout
 from ..system.simulator import SimResult
 from ..workloads.base import Workload, WorkloadResult
 
 #: design points evaluated by default (baseline + the four compared)
-ALL_DESIGNS = (Design.BASELINE,) + COMPARED_DESIGNS
+ALL_DESIGNS = (BASELINE,) + COMPARED
 
 
 @dataclass
 class DesignRun:
     """One design point's functional + timing outcome on one workload."""
 
-    design: Design
+    design: DesignSpec
     output_error: float
     iterations: int
     compression_ratio: float
@@ -46,14 +46,19 @@ class DesignRun:
 
 @dataclass
 class WorkloadEvaluation:
-    """Everything measured for one workload across all designs."""
+    """Everything measured for one workload across all designs.
+
+    ``runs`` is a :class:`~repro.designs.DesignMap`: keyed by
+    :class:`~repro.designs.DesignSpec`, with lookups also accepting
+    registry names and legacy ``Design`` enum members.
+    """
 
     name: str
     baseline_iterations: int
     footprint_bytes: int
     timing_approx_bytes: int
     avr_compression_ratio: float
-    runs: dict[Design, DesignRun] = field(default_factory=dict)
+    runs: DesignMap = field(default_factory=DesignMap)
 
     @property
     def approx_fraction(self) -> float:
@@ -69,9 +74,9 @@ class WorkloadEvaluation:
         return (1.0 - frac) + frac / ratio
 
     def baseline(self) -> DesignRun:
-        return self.runs[Design.BASELINE]
+        return self.runs[BASELINE]
 
-    def normalized(self, design: Design, metric: str) -> float:
+    def normalized(self, design, metric: str) -> float:
         """Design metric / baseline metric (iteration-count adjusted)."""
         run, base = self.runs[design], self.baseline()
         if metric == "time":
@@ -126,7 +131,7 @@ def evaluate_workload(
     config: SystemConfig | None = None,
     scale: float = 1.0,
     seed: int = 0,
-    designs: tuple[Design, ...] = ALL_DESIGNS,
+    designs: tuple = ALL_DESIGNS,
     max_accesses_per_core: int = 50_000,
     thresholds=None,
     jobs: int = 1,
@@ -163,7 +168,7 @@ def evaluate_all(
     config: SystemConfig | None = None,
     scale: float = 1.0,
     seed: int = 0,
-    designs: tuple[Design, ...] = ALL_DESIGNS,
+    designs: tuple = ALL_DESIGNS,
     max_accesses_per_core: int = 50_000,
     jobs: int = 1,
     cache_dir=None,

@@ -35,7 +35,15 @@ from pathlib import Path
 
 from .. import __version__
 from ..common.config import SystemConfig
-from ..common.types import Design, ErrorThresholds
+from ..common.types import ErrorThresholds
+from ..designs import (
+    AVR,
+    BASELINE,
+    DesignMap,
+    DesignSpec,
+    layout_source_design,
+    resolve_designs,
+)
 from ..scenario import (
     InstancePlan,
     Scenario,
@@ -68,7 +76,7 @@ __all__ = [
 
 #: designs a scenario evaluation compares by default (baseline anchors
 #: the mix-level normalization; AVR is the paper's proposal)
-SCENARIO_DESIGNS = (Design.BASELINE, Design.AVR)
+SCENARIO_DESIGNS = (BASELINE, AVR)
 
 
 @dataclass(frozen=True)
@@ -110,20 +118,25 @@ class ScenarioPoint:
         )
 
 
-def scenario_functional_designs(
-    designs: tuple[Design, ...]
-) -> tuple[Design, ...]:
+def scenario_functional_designs(designs) -> tuple[DesignSpec, ...]:
     """Functional runs a scenario evaluation needs per instance.
 
-    BASELINE (reference memory: layouts, footprints, traces) and AVR
-    (measured block sizes) always; DGANGER only when evaluated (its
-    measured dedup factor parameterizes the capacity model).  Scenario
-    runs report timing contention, not output error, so the other
-    designs' functional layers never execute.
+    ``baseline`` (reference memory: layouts, footprints, traces) and
+    ``AVR`` (measured block sizes for the default timing layout)
+    always; dedup-measuring designs (Doppelgänger family) only when
+    evaluated (their measured dedup factor parameterizes the capacity
+    model), and custom ``layout_source`` designs pull in their source
+    run.  Scenario runs report timing contention, not output error, so
+    the other designs' functional layers never execute.
     """
-    needed = [Design.BASELINE, Design.AVR]
-    if Design.DGANGER in designs:
-        needed.append(Design.DGANGER)
+    needed = [BASELINE, AVR]
+    for design in resolve_designs(designs):
+        if design.measures_dedup and design not in needed:
+            needed.append(design)
+        if design.layout_source is not None:
+            source = layout_source_design(design)
+            if source not in needed:
+                needed.append(source)
     return tuple(needed)
 
 
@@ -163,12 +176,23 @@ class ScenarioContext:
     workloads: list[Workload]
     references: list[WorkloadResult]
     offsets: list[int]
-    layout: AddressLayout
+    #: composed timing layout per layout-source design (the canonical
+    #: ``AVR`` source is always present; see ``layout_for``)
+    layouts: DesignMap
     footprint_bytes: int
     instance_footprints: list[int]
     scale_factors: list[float]
-    dedup_factors: dict[Design, float]
+    dedup_factors: DesignMap
     _trace: GeneratedTrace | None = field(default=None, repr=False)
+
+    @property
+    def layout(self) -> AddressLayout:
+        """The default composed layout (canonical AVR-measured sizes)."""
+        return self.layouts[AVR]
+
+    def layout_for(self, design) -> AddressLayout:
+        """The composed layout a design's timing replay consumes."""
+        return self.layouts[layout_source_design(design)]
 
     def trace(self) -> GeneratedTrace:
         """The composed machine-wide trace (generated on first use)."""
@@ -215,7 +239,7 @@ def build_scenario_context(
     point: ScenarioPoint,
     config: SystemConfig,
     functional_for,
-    designs: tuple[Design, ...] = SCENARIO_DESIGNS,
+    designs=SCENARIO_DESIGNS,
 ) -> ScenarioContext:
     """Compose per-instance functional results into one machine view.
 
@@ -224,29 +248,44 @@ def build_scenario_context(
     the seam that lets :func:`repro.harness.sweep.run_sweep` and the
     standalone :func:`evaluate_scenario` share this builder.
     """
+    designs = resolve_designs(designs)
     scenario = point.scenario
     if config.num_cores < scenario.total_cores:
         raise ValueError(
             f"scenario {scenario.name!r} needs {scenario.total_cores} cores "
             f"but the machine has {config.num_cores}"
         )
+    # Layout-source designs whose measured block sizes we compose, and
+    # dedup-measuring designs whose functional runs we weight.
+    sources = [AVR]
+    for design in designs:
+        source = layout_source_design(design)
+        if source not in sources:
+            sources.append(source)
+    dedup_designs = [d for d in designs if d.measures_dedup]
+
     plans = point.plans()
-    workloads, references, layouts, spans = [], [], [], []
-    dganger_runs = []
+    workloads, references, spans = [], [], []
+    source_layouts = {source: [] for source in sources}
+    dedup_runs = {design: [] for design in dedup_designs}
     for plan in plans:
         ipoint = point.instance_point(plan)
         workload = ipoint.make()
-        reference = functional_for(ipoint, Design.BASELINE)
-        avr_run = functional_for(ipoint, Design.AVR)
+        reference = functional_for(ipoint, BASELINE)
         workloads.append(workload)
         references.append(reference)
-        layouts.append(_build_layout(workload, avr_run))
+        for source in sources:
+            run = functional_for(ipoint, source)
+            source_layouts[source].append(_build_layout(workload, run))
         spans.append(reference.memory.address_span)
-        if Design.DGANGER in designs:
-            dganger_runs.append(functional_for(ipoint, Design.DGANGER))
+        for design in dedup_designs:
+            dedup_runs[design].append(functional_for(ipoint, design))
 
     offsets = assign_offsets(spans)
-    layout = compose_layouts(layouts, offsets)
+    layouts = DesignMap(
+        (source, compose_layouts(per_instance, offsets))
+        for source, per_instance in source_layouts.items()
+    )
     footprints = [ref.memory.footprint_bytes for ref in references]
     scale_factors = []
     for plan, workload, reference in zip(plans, workloads, references):
@@ -259,18 +298,19 @@ def build_scenario_context(
         )
         scale_factors.append(spec.iterations / iters if iters else 1.0)
 
-    dedup_factors = {design: 1.0 for design in designs}
-    if Design.DGANGER in designs:
+    dedup_factors = DesignMap((design, 1.0) for design in designs)
+    for design in dedup_designs:
         # One machine-wide capacity multiplier: the per-instance
         # measured dedup factors, weighted by how much approximable
         # data each instance contributes to the shared LLC.
-        weights = [run.memory.approx_bytes for run in dganger_runs]
+        runs = dedup_runs[design]
+        weights = [run.memory.approx_bytes for run in runs]
         total = sum(weights)
         if total:
-            dedup_factors[Design.DGANGER] = (
+            dedup_factors[design] = (
                 sum(
                     run.memory.dedup_factor() * w
-                    for run, w in zip(dganger_runs, weights)
+                    for run, w in zip(runs, weights)
                 )
                 / total
             )
@@ -282,7 +322,7 @@ def build_scenario_context(
         workloads=workloads,
         references=references,
         offsets=offsets,
-        layout=layout,
+        layouts=layouts,
         footprint_bytes=sum(footprints),
         instance_footprints=footprints,
         scale_factors=scale_factors,
@@ -292,7 +332,7 @@ def build_scenario_context(
 
 def scenario_timing_key(
     point: ScenarioPoint,
-    design: Design,
+    design: DesignSpec,
     config: SystemConfig,
     active: tuple[int, ...],
 ) -> str:
@@ -367,7 +407,7 @@ class InstanceContention:
 class ScenarioDesignRun:
     """One design point's contention outcome on one mix."""
 
-    design: Design
+    design: DesignSpec
     corun: SimResult
     instances: list[InstanceContention]
 
@@ -392,19 +432,19 @@ class ScenarioEvaluation:
     point: ScenarioPoint
     num_cores: int
     footprint_bytes: int
-    runs: dict[Design, ScenarioDesignRun] = field(default_factory=dict)
+    runs: DesignMap = field(default_factory=DesignMap)
 
     @property
     def name(self) -> str:
         return self.scenario.name
 
-    def normalized_mix_time(self, design: Design) -> float:
+    def normalized_mix_time(self, design) -> float:
         """Mix completion time vs the baseline design's co-run.
 
         NaN when the evaluation did not include the baseline design
         (nothing to normalize against).
         """
-        base_run = self.runs.get(Design.BASELINE)
+        base_run = self.runs.get(BASELINE)
         if base_run is None:
             return float("nan")
         base = base_run.corun.cycles
@@ -414,8 +454,8 @@ class ScenarioEvaluation:
 def assemble_scenario_evaluation(
     point: ScenarioPoint,
     context: ScenarioContext,
-    designs: tuple[Design, ...],
-    timing: dict[tuple[Design, tuple[int, ...]], SimResult],
+    designs: tuple[DesignSpec, ...],
+    timing: dict[tuple[DesignSpec, tuple[int, ...]], SimResult],
 ) -> ScenarioEvaluation:
     """Fold subset replays into per-design contention metrics."""
     plans = context.plans
@@ -480,7 +520,7 @@ def assemble_scenario_evaluation(
 def evaluate_scenario(
     scenario: Scenario | str,
     config: SystemConfig | None = None,
-    designs: tuple[Design, ...] = SCENARIO_DESIGNS,
+    designs: tuple = SCENARIO_DESIGNS,
     seed: int = 0,
     thresholds: ErrorThresholds | None = None,
     max_accesses_per_core: int = 50_000,
@@ -544,6 +584,6 @@ def scenario_timing_context(
         return cache[key]
 
     context = build_scenario_context(
-        point, config, functional_for, designs=(Design.BASELINE, Design.AVR)
+        point, config, functional_for, designs=(BASELINE, AVR)
     )
     return config, context.layout, context.trace(), context.footprint_bytes

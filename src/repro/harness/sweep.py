@@ -39,7 +39,15 @@ from typing import Any, Callable
 
 from .. import __version__
 from ..common.config import SystemConfig
-from ..common.types import Design, ErrorThresholds
+from ..common.types import ErrorThresholds
+from ..designs import (
+    AVR,
+    BASELINE,
+    DesignSpec,
+    get_design,
+    layout_source_design,
+    resolve_designs,
+)
 from ..scenario import Scenario
 from ..system.factory import build_system
 from ..system.layout import AddressLayout
@@ -121,7 +129,11 @@ class SweepSpec:
     """
 
     workloads: tuple[str, ...] = ()
-    designs: tuple[Design, ...] = ALL_DESIGNS
+    #: design points evaluated at every grid point; entries may be
+    #: given as :class:`~repro.designs.DesignSpec`, registry names or
+    #: legacy ``Design`` enum members — normalized to specs on
+    #: construction.
+    designs: tuple[DesignSpec, ...] = ALL_DESIGNS
     config: SystemConfig | None = None
     scales: tuple[float, ...] = (1.0,)
     seeds: tuple[int, ...] = (0,)
@@ -136,6 +148,9 @@ class SweepSpec:
     #: both engines produce bit-identical results, so they share cache
     #: entries — the key deliberately excludes this field.
     engine: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "designs", resolve_designs(self.designs))
 
     def resolved_config(self) -> SystemConfig:
         return self.config or SystemConfig.scaled(num_cores=8)
@@ -180,45 +195,50 @@ class SweepSpec:
         )
 
 
-def functional_designs(designs: tuple[Design, ...]) -> tuple[Design, ...]:
+def functional_designs(designs) -> tuple[DesignSpec, ...]:
     """Designs whose functional layer actually executes for a point.
 
-    ``BASELINE`` is always needed (it is the reference every other
+    ``baseline`` is always needed (it is the reference every other
     design's error and iteration factor are measured against) and
-    ``AVR`` is always needed (its measured block sizes build the timing
-    layout).  ``ZERO_AVR`` approximates nothing and reuses the
-    reference, so it never appears here.
+    ``AVR`` is always needed (its measured block sizes build the
+    default timing layout).  Exact designs (baseline-like, ZeroAVR)
+    approximate nothing and reuse the reference, so they never appear
+    on their own; designs with a custom ``layout_source`` additionally
+    pull in that source's run.
     """
-    needed = [Design.BASELINE]
-    for design in designs:
-        if design in (Design.BASELINE, Design.ZERO_AVR):
-            continue
-        if design not in needed:
+    needed = [BASELINE]
+    for design in resolve_designs(designs):
+        if design.runs_functional and design not in needed:
             needed.append(design)
-    if Design.AVR not in needed:
-        needed.append(Design.AVR)
+        if design.layout_source is not None:
+            source = layout_source_design(design)
+            if source not in needed:
+                needed.append(source)
+    if AVR not in needed:
+        needed.append(AVR)
     return tuple(needed)
 
 
 # ----------------------------------------------------------------------
 # Job units (module-level so they pickle into worker processes)
 # ----------------------------------------------------------------------
-def run_functional_job(point: SweepPoint, design: Design) -> WorkloadResult:
+def run_functional_job(point: SweepPoint, design) -> WorkloadResult:
     """Job unit: one functional round-trip of one design point.
 
     Pure function of ``(point, design)``: the workload is freshly
     instantiated from the point's seed, so the result is bit-identical
-    wherever the job runs.  The baseline reference ignores threshold
-    overrides (it approximates nothing), which lets threshold-ablation
+    wherever the job runs.  Exact (reference) designs ignore threshold
+    overrides (they approximate nothing), which lets threshold-ablation
     sweeps share one cached reference run.
     """
+    design = get_design(design)
     workload = point.make()
-    thresholds = None if design == Design.BASELINE else point.thresholds
+    thresholds = None if design.is_reference else point.thresholds
     return workload.run(design, thresholds=thresholds)
 
 
 def run_timing_job(
-    design: Design,
+    design: DesignSpec,
     config: SystemConfig,
     layout: AddressLayout,
     trace: GeneratedTrace,
@@ -243,30 +263,32 @@ def run_timing_job(
     return system.run(trace, engine=engine)
 
 
-def _functional_key(point: SweepPoint, design: Design) -> str:
+def _functional_key(point: SweepPoint, design) -> str:
     """Cache key of a functional job.
 
     Normalized so equivalent jobs share an entry: the trace budget
     (``max_accesses_per_core``) does not affect functional results, and
-    thresholds do not affect the baseline reference.
+    thresholds do not affect exact (reference) runs.
     """
+    design = get_design(design)
     normalized = replace(
         point,
         max_accesses_per_core=0,
-        thresholds=None if design == Design.BASELINE else point.thresholds,
+        thresholds=None if design.is_reference else point.thresholds,
     )
     return content_key("functional", __version__, normalized, design)
 
 
 def _timing_key(
     point: SweepPoint,
-    design: Design,
+    design,
     config: SystemConfig,
     avr_options: dict | None = None,
 ) -> str:
     """Cache key of a timing job (config-dependent, unlike functional)."""
     return content_key(
-        "timing", __version__, point, design, config, avr_options or {}
+        "timing", __version__, point, get_design(design), config,
+        avr_options or {},
     )
 
 
@@ -476,7 +498,7 @@ def run_sweep(
         functional, executed = _run_jobs(pool, cache, functional_jobs, stats)
         stats.functional_executed += executed
 
-        def functional_for(point: SweepPoint, design: Design) -> WorkloadResult:
+        def functional_for(point: SweepPoint, design) -> WorkloadResult:
             return functional[_functional_key(point, design)]
 
         # --- stage 2: per-point composed layout + trace, then timing --
@@ -490,10 +512,10 @@ def run_sweep(
         contexts: list[tuple[SweepPoint, Workload, WorkloadResult, AddressLayout]] = []
         timing: dict[str, SimResult] = {}
         timing_jobs: dict[str, tuple] = {}
-        dedups: dict[tuple[SweepPoint, Design], float] = {}
+        dedups: dict[tuple[SweepPoint, DesignSpec], float] = {}
         for point in points:
             workload = point.make()
-            reference = functional[_functional_key(point, Design.BASELINE)]
+            reference = functional[_functional_key(point, BASELINE)]
             solo = ScenarioPoint(
                 scenario=Scenario.solo(
                     point.workload,
@@ -512,9 +534,7 @@ def run_sweep(
             for design in spec.designs:
                 func = functional.get(_functional_key(point, design), reference)
                 dedup = (
-                    func.memory.dedup_factor()
-                    if design == Design.DGANGER
-                    else 1.0
+                    func.memory.dedup_factor() if design.measures_dedup else 1.0
                 )
                 dedups[(point, design)] = dedup
                 key = _timing_key(point, design, config)
@@ -529,7 +549,7 @@ def run_sweep(
                     partial(run_timing_job, engine=spec.engine),
                     design,
                     config,
-                    context.layout,
+                    context.layout_for(design),
                     context.trace(),
                     reference.memory.footprint_bytes,
                     dedup,
@@ -555,7 +575,7 @@ def run_sweep(
                         partial(run_timing_job, engine=spec.engine),
                         design,
                         config,
-                        context.layout,
+                        context.layout_for(design),
                         context.subset_trace(active),
                         context.footprint_bytes,
                         context.dedup_factors.get(design, 1.0),
@@ -579,7 +599,7 @@ def run_sweep(
             sim.iteration_factor = func.iterations / max(reference.iterations, 1)
             error = (
                 0.0
-                if design in (Design.BASELINE, Design.ZERO_AVR)
+                if design.is_reference
                 else workload.output_error(func, reference)
             )
             evaluation.runs[design] = DesignRun(

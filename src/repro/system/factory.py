@@ -1,21 +1,23 @@
-"""Construction of the five evaluated design points."""
+"""Construction of evaluated design points, via the design registry.
+
+Historically this module hardwired the five paper designs behind a
+closed if/elif chain over the ``Design`` enum.  Dispatch now lives in
+the spec itself (:meth:`repro.designs.DesignSpec.build_llc`): a new
+design point is one ``register_design`` call and this file never
+changes again.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..cache.llc_avr import AVRLLC
-from ..cache.llc_baseline import BaselineLLC
 from ..common.config import SystemConfig
-from ..common.constants import BLOCK_CACHELINES
-from ..common.types import Design
+from ..designs import DesignSpec, LLCBuildContext, get_design
 from ..memory.dram import DRAM
 from .layout import AddressLayout
 from .simulator import TimingSystem
 
 
 def build_system(
-    design: Design,
+    design: "DesignSpec | str",
     config: SystemConfig,
     layout: AddressLayout,
     footprint_bytes: int,
@@ -24,68 +26,26 @@ def build_system(
 ) -> TimingSystem:
     """Wire up DRAM + the design's LLC into a runnable timing system.
 
-    ``layout`` carries the approximable ranges and measured block sizes;
+    ``design`` is anything :func:`repro.designs.get_design` resolves: a
+    :class:`~repro.designs.DesignSpec`, a registry name, or a legacy
+    :class:`~repro.common.types.Design` enum member.  ``layout``
+    carries the approximable ranges and measured block sizes;
     ``footprint_bytes`` the total workload footprint (to estimate the
     fraction of LLC-resident data that is approximate for the capacity
     models); ``dedup_factor`` the functional layer's measured
     Doppelgänger dedup; ``avr_options`` forwards ablation flags to
-    :class:`~repro.cache.llc_avr.AVRLLC` (AVR/ZeroAVR only).
+    :class:`~repro.cache.llc_avr.AVRLLC` — passing them to a design
+    that cannot consume them raises ``ValueError``.
     """
+    spec = get_design(design)
+    spec.validate_options(avr_options)
     dram = DRAM(config.dram, line_bytes=config.llc.line_bytes)
-    approx_frac = (
-        min(1.0, layout.approx_bytes / footprint_bytes) if footprint_bytes else 0.0
+    ctx = LLCBuildContext(
+        config=config,
+        dram=dram,
+        layout=layout,
+        footprint_bytes=footprint_bytes,
+        dedup_factor=dedup_factor,
+        options=dict(spec.avr_options) | dict(avr_options or {}),
     )
-
-    if design == Design.BASELINE:
-        llc = BaselineLLC(config.llc, dram)
-    elif design == Design.TRUNCATE:
-        # Approximate lines stored/transferred at half width: capacity
-        # stretches by the approximate share, the link moves 32 B lines.
-        capacity = 1.0 / (1.0 - approx_frac / 2.0)
-        llc = BaselineLLC(
-            config.llc,
-            dram,
-            is_approx=layout.is_approx,
-            capacity_multiplier=capacity,
-            approx_line_bytes=32,
-            is_approx_batch=layout.is_approx_batch,
-        )
-    elif design == Design.DGANGER:
-        # Dedup shares data entries between similar lines; reach is
-        # bounded by the 4x tag array.
-        effective = min(max(dedup_factor, 1.0), float(config.dganger_tag_factor))
-        capacity = 1.0 / (1.0 - approx_frac * (1.0 - 1.0 / effective))
-        llc = BaselineLLC(
-            config.llc,
-            dram,
-            is_approx=layout.is_approx,
-            capacity_multiplier=capacity,
-            is_approx_batch=layout.is_approx_batch,
-        )
-    elif design == Design.ZERO_AVR:
-        # AVR machinery present, nothing marked approximable.
-        llc = AVRLLC(
-            config.llc,
-            dram,
-            block_size_of=lambda addr: BLOCK_CACHELINES,
-            is_approx=lambda addr: False,
-            is_approx_batch=lambda addrs: np.zeros(addrs.shape, dtype=bool),
-            block_size_of_batch=lambda addrs: np.full(
-                addrs.shape, BLOCK_CACHELINES, dtype=np.int64
-            ),
-            **(avr_options or {}),
-        )
-    elif design == Design.AVR:
-        llc = AVRLLC(
-            config.llc,
-            dram,
-            block_size_of=layout.block_size_of,
-            is_approx=layout.is_approx,
-            is_approx_batch=layout.is_approx_batch,
-            block_size_of_batch=layout.block_size_of_batch,
-            **(avr_options or {}),
-        )
-    else:  # pragma: no cover - exhaustive enum
-        raise ValueError(f"unknown design {design}")
-
-    return TimingSystem(design, config, llc, dram)
+    return TimingSystem(spec, config, spec.build_llc(ctx), dram)

@@ -22,7 +22,7 @@ from ..cache.hierarchy import PrivateCaches
 from ..cache.llc_avr import AVRLLC
 from ..cache.llc_baseline import BaselineLLC
 from ..common.config import SystemConfig
-from ..common.types import Design
+from ..designs import DesignSpec, get_design
 from ..cpu.interval import IntervalCore
 from ..energy.model import EnergyBreakdown, EnergyModel
 from ..memory.dram import DRAM
@@ -42,7 +42,7 @@ ENGINES = ("vectorized", "reference")
 class SimResult:
     """Everything the evaluation figures need from one timing run."""
 
-    design: Design
+    design: DesignSpec
     cycles: float
     instructions: int
     seconds: float
@@ -111,12 +111,12 @@ class TimingSystem:
 
     def __init__(
         self,
-        design: Design,
+        design: DesignSpec,
         config: SystemConfig,
         llc: BaselineLLC | AVRLLC,
         dram: DRAM,
     ) -> None:
-        self.design = design
+        self.design = get_design(design)
         self.config = config
         self.llc = llc
         self.dram = dram

@@ -116,8 +116,9 @@ class Workload(abc.ABC):
         would round-trip through main memory.
         """
 
-    def approx_regions_for(self, design: Design) -> tuple[str, ...] | None:
-        """Regions the *functional* round-trip touches under ``design``.
+    def approx_regions_for(self, design) -> tuple[str, ...] | None:
+        """Regions the *functional* round-trip touches under ``design``
+        (a resolved :class:`~repro.designs.DesignSpec`).
 
         ``None`` keeps the flags set at allocation time.  Workloads
         override this when a design's approximation applies to more
@@ -129,19 +130,26 @@ class Workload(abc.ABC):
 
     def run(
         self,
-        design: Design = Design.BASELINE,
+        design=Design.BASELINE,
         thresholds: ErrorThresholds | None = None,
         check_mode: str = "hybrid",
         dganger_threshold: float | None = None,
     ) -> WorkloadResult:
         """Full functional run under one design point.
 
+        ``design`` is anything :func:`repro.designs.get_design`
+        resolves (spec, registry name, or legacy enum member).
         ``thresholds``/``dganger_threshold`` default to the workload's
-        per-application knob settings.
+        per-application knob settings; the design's
+        ``thresholds_scale`` then scales the resolved thresholds (see
+        :meth:`repro.designs.DesignSpec.resolve_thresholds`).
         """
+        from ..designs import get_design
+
+        design = get_design(design)
         approximator = approximator_for(
             design,
-            thresholds if thresholds is not None else self.default_thresholds,
+            design.resolve_thresholds(thresholds, self.default_thresholds),
             check_mode,
             dganger_threshold if dganger_threshold is not None else self.dganger_threshold,
         )

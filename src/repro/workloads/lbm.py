@@ -75,8 +75,7 @@ class LbmWorkload(Workload):
     OMEGA = 1.0
 
     def approx_regions_for(self, design):
-        from ..common.types import Design
-        if design == Design.DGANGER:
+        if design.approximator == "dganger":
             # Doppelgänger has no per-value error bound exempting the
             # distribution arrays; its dedup aliases the small
             # directional signal they carry (the paper's lbm failure).

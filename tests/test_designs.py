@@ -1,0 +1,474 @@
+"""Tests for the open design registry (repro.designs).
+
+Covers the registry contract (register / lookup / duplicate rejection /
+suggestions), DesignSpec identity (hashability, enum/name equality,
+pickling, cache canonicalization), option validation, and the
+acceptance-critical differential: the five shipped registry designs
+must produce SimResults bit-identical to the pre-registry enum-dispatch
+factory wiring, and new registered variants must run end-to-end with
+zero edits to ``system/factory.py`` or ``common/types.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.constants import BLOCK_CACHELINES
+from repro.common.types import Design
+from repro.designs import (
+    AVR,
+    BASELINE,
+    COMPARED,
+    DGANGER,
+    PAPER_DESIGNS,
+    TRUNCATE,
+    ZERO_AVR,
+    DesignMap,
+    DesignSpec,
+    get_design,
+    layout_source_design,
+    list_designs,
+    register_design,
+    resolve_designs,
+    unregister_design,
+)
+from repro.harness.cache import content_key
+from repro.harness.runner import _build_layout
+from repro.harness.sweep import (
+    SweepPoint,
+    functional_designs,
+    run_functional_job,
+)
+from repro.system.factory import build_system
+from repro.trace.generator import generate_trace
+
+SCALE = 0.12
+ACCESSES = 2_500
+
+
+# ----------------------------------------------------------------------
+# registry contract
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_paper_designs_are_registered(self):
+        names = list_designs()
+        for spec in PAPER_DESIGNS:
+            assert spec.name in names
+            assert get_design(spec.name) is spec
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_design("avr") is AVR
+        assert get_design("AVR") is AVR
+        assert get_design("zeroavr") is ZERO_AVR
+
+    def test_enum_members_resolve(self):
+        assert get_design(Design.BASELINE) is BASELINE
+        assert get_design(Design.DGANGER) is DGANGER
+        assert get_design(Design.TRUNCATE) is TRUNCATE
+        assert get_design(Design.ZERO_AVR) is ZERO_AVR
+        assert get_design(Design.AVR) is AVR
+
+    def test_spec_passthrough_without_registration(self):
+        anon = DesignSpec(name="anon-variant")
+        assert get_design(anon) is anon
+
+    def test_unknown_name_suggests_close_matches(self):
+        with pytest.raises(ValueError, match="did you mean"):
+            get_design("avrr")
+        with pytest.raises(ValueError, match="truncate"):
+            get_design("truncat")
+        # The error lists the registered designs (CLI surfaces this).
+        with pytest.raises(ValueError, match="registered designs"):
+            get_design("definitely-not-a-design")
+
+    def test_unknown_type_raises_typeerror(self):
+        with pytest.raises(TypeError):
+            get_design(42)
+
+    def test_duplicate_name_rejected(self):
+        try:
+            register_design(DesignSpec(name="dup-test"))
+            with pytest.raises(ValueError, match="already registered"):
+                register_design(DesignSpec(name="dup-test", approximator="avr", llc="avr"))
+            with pytest.raises(ValueError, match="already registered"):
+                register_design(DesignSpec(name="DUP-TEST"))  # case-insensitive
+        finally:
+            unregister_design("dup-test")
+
+    def test_identical_reregistration_is_idempotent(self):
+        try:
+            a = register_design(DesignSpec(name="idem-test"))
+            b = register_design(DesignSpec(name="idem-test"))
+            assert b is a
+        finally:
+            unregister_design("idem-test")
+
+    def test_replace_overrides(self):
+        try:
+            register_design(DesignSpec(name="repl-test"))
+            new = register_design(
+                DesignSpec(name="repl-test", llc="avr", approximator="avr"),
+                replace=True,
+            )
+            assert get_design("repl-test") is new
+        finally:
+            unregister_design("repl-test")
+
+    def test_resolve_designs_mixed_forms(self):
+        specs = resolve_designs(("baseline", Design.AVR, TRUNCATE))
+        assert specs == (BASELINE, AVR, TRUNCATE)
+
+
+# ----------------------------------------------------------------------
+# DesignSpec identity
+# ----------------------------------------------------------------------
+class TestDesignSpecIdentity:
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {AVR: 1, BASELINE: 2}
+        assert d[get_design("avr")] == 1
+        assert len({AVR, get_design("AVR"), BASELINE}) == 2
+
+    def test_equality_with_enum_and_name(self):
+        assert AVR == Design.AVR
+        assert Design.AVR == AVR
+        assert AVR == "AVR"
+        assert AVR == "avr"
+        assert not (AVR == Design.BASELINE)
+        assert AVR != TRUNCATE
+
+    def test_equal_specs_hash_equal(self):
+        clone = DesignSpec(
+            name="AVR", llc="avr", approximator="avr",
+            doc=AVR.doc,
+        )
+        assert clone == AVR
+        assert hash(clone) == hash(AVR)
+
+    def test_builder_outside_identity(self):
+        def builder(spec, ctx):  # pragma: no cover - never called
+            raise AssertionError
+
+        with_hook = DesignSpec(name="hooked", builder=builder)
+        without = DesignSpec(name="hooked")
+        assert with_hook == without
+        assert hash(with_hook) == hash(without)
+        # ... and outside cache canonicalization: a callable would make
+        # content_key raise TypeError if it entered the key.
+        assert content_key(with_hook) == content_key(without)
+
+    def test_pickle_roundtrip(self):
+        for spec in PAPER_DESIGNS:
+            assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_avr_options_sorted_into_identity(self):
+        a = DesignSpec(name="x", llc="avr",
+                       avr_options=(("b", 1), ("a", 2)))
+        b = DesignSpec(name="x", llc="avr",
+                       avr_options=(("a", 2), ("b", 1)))
+        assert a == b and hash(a) == hash(b)
+
+    def test_avr_options_accepts_mapping(self):
+        spec = DesignSpec(name="x", llc="avr",
+                          avr_options={"enable_dbuf": False})
+        assert spec.avr_options == (("enable_dbuf", False),)
+
+    def test_avr_options_rejects_malformed_pairs(self):
+        with pytest.raises(ValueError, match="pairs"):
+            DesignSpec(name="x", llc="avr", avr_options=("enable_dbuf",))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="LLC family"):
+            DesignSpec(name="bad", llc="l4")
+        with pytest.raises(ValueError, match="approximator"):
+            DesignSpec(name="bad", approximator="magic")
+        with pytest.raises(ValueError, match="capacity model"):
+            DesignSpec(name="bad", capacity_model="infinite")
+        with pytest.raises(ValueError, match="thresholds_scale"):
+            DesignSpec(name="bad", thresholds_scale=0.0)
+        with pytest.raises(ValueError, match="approx_line_bytes"):
+            DesignSpec(name="bad", approx_line_bytes=128)
+        with pytest.raises(ValueError, match="cannot consume"):
+            DesignSpec(name="bad", avr_options=(("enable_dbuf", False),))
+        # Truncate-family designs must pin their stored line width, so
+        # the functional and timing models stay consistent.
+        with pytest.raises(ValueError, match="approx_line_bytes"):
+            DesignSpec(name="bad", approximator="truncate",
+                       capacity_model="truncate")
+        with pytest.raises(ValueError, match="approx_line_bytes"):
+            DesignSpec(name="bad", approximator="truncate")
+
+    def test_designmap_accepts_enum_and_names(self):
+        m = DesignMap()
+        m[AVR] = "a"
+        m[Design.BASELINE] = "b"
+        assert m["AVR"] == "a" and m[Design.AVR] == "a"
+        assert m[BASELINE] == "b" and m["baseline"] == "b"
+        assert "avr" in m and Design.TRUNCATE not in m
+        assert m.get("nope") is None
+        assert len(m) == 2
+
+
+# ----------------------------------------------------------------------
+# roles and derived behaviour
+# ----------------------------------------------------------------------
+class TestRoles:
+    def test_reference_designs(self):
+        assert BASELINE.is_reference and ZERO_AVR.is_reference
+        assert not AVR.is_reference and not TRUNCATE.is_reference
+        assert DGANGER.measures_dedup and not AVR.measures_dedup
+
+    def test_functional_designs_matches_legacy_selection(self):
+        needed = functional_designs(PAPER_DESIGNS)
+        assert needed == (BASELINE, DGANGER, TRUNCATE, AVR)
+
+    def test_functional_designs_pulls_layout_source(self):
+        conservative = get_design("avr-conservative")
+        needed = functional_designs((BASELINE, conservative))
+        assert conservative in needed
+        assert layout_source_design(conservative) is conservative
+        assert layout_source_design(AVR) is AVR
+        assert layout_source_design(TRUNCATE) is AVR
+
+    def test_thresholds_scale_resolution(self):
+        from repro.common.types import ErrorThresholds
+
+        conservative = get_design("avr-conservative")
+        base = ErrorThresholds(t1=0.02, t2=0.01)
+        scaled = conservative.resolve_thresholds(None, base)
+        assert scaled.t1 == pytest.approx(0.01)
+        assert scaled.t2 == pytest.approx(0.005)
+        # Explicit overrides are scaled too: the design stays tightened
+        # inside threshold-ablation sweeps.
+        explicit = conservative.resolve_thresholds(ErrorThresholds.from_t2(0.04), base)
+        assert explicit.t2 == pytest.approx(0.02)
+        # Identity designs pass thresholds through untouched.
+        assert AVR.resolve_thresholds(base, None) is base
+
+    def test_validate_options_satellite(self):
+        """build_system raises (not silently ignores) stray avr_options."""
+        layout = _small_layout()
+        config = SystemConfig.scaled(num_cores=2)
+        for design in (BASELINE, TRUNCATE, DGANGER, "truncate-16"):
+            with pytest.raises(ValueError, match="cannot consume"):
+                build_system(
+                    design, config, layout, footprint_bytes=1 << 16,
+                    avr_options={"enable_dbuf": False},
+                )
+        # AVR-family designs accept them, as before.
+        build_system(
+            AVR, config, layout, footprint_bytes=1 << 16,
+            avr_options={"enable_dbuf": False},
+        )
+
+
+# ----------------------------------------------------------------------
+# differential: registry wiring vs the pre-registry enum factory
+# ----------------------------------------------------------------------
+def _small_layout():
+    from repro.system.layout import AddressLayout
+
+    layout = AddressLayout()
+    layout.add_region(0x1_0000, 1 << 16, BLOCK_CACHELINES // 2)
+    return layout
+
+
+@pytest.fixture(scope="module")
+def seed_context():
+    """One small functional pass: the layout + trace all designs share."""
+    point = SweepPoint(workload="heat", scale=SCALE,
+                       max_accesses_per_core=ACCESSES)
+    workload = point.make()
+    reference = run_functional_job(point, BASELINE)
+    avr_run = run_functional_job(point, AVR)
+    dganger_run = run_functional_job(point, DGANGER)
+    config = SystemConfig.scaled(num_cores=2)
+    layout = _build_layout(workload, avr_run)
+    trace = generate_trace(
+        workload.trace_spec(), reference.memory,
+        num_cores=config.num_cores, max_accesses_per_core=ACCESSES,
+        seed=point.seed,
+    )
+    return {
+        "config": config,
+        "layout": layout,
+        "trace": trace,
+        "footprint": reference.memory.footprint_bytes,
+        "dedup": dganger_run.memory.dedup_factor(),
+    }
+
+
+def _legacy_build_system(design, config, layout, footprint_bytes, dedup_factor):
+    """The pre-registry enum-dispatch wiring, reproduced verbatim.
+
+    This is the if/elif chain ``system/factory.py`` shipped before the
+    registry (PR 4 state), inlined here as the differential anchor for
+    the five paper designs.
+    """
+    from repro.cache.llc_avr import AVRLLC
+    from repro.cache.llc_baseline import BaselineLLC
+    from repro.memory.dram import DRAM
+    from repro.system.simulator import TimingSystem
+
+    dram = DRAM(config.dram, line_bytes=config.llc.line_bytes)
+    approx_frac = (
+        min(1.0, layout.approx_bytes / footprint_bytes) if footprint_bytes else 0.0
+    )
+    if design == Design.BASELINE:
+        llc = BaselineLLC(config.llc, dram)
+    elif design == Design.TRUNCATE:
+        capacity = 1.0 / (1.0 - approx_frac / 2.0)
+        llc = BaselineLLC(
+            config.llc, dram,
+            is_approx=layout.is_approx,
+            capacity_multiplier=capacity,
+            approx_line_bytes=32,
+            is_approx_batch=layout.is_approx_batch,
+        )
+    elif design == Design.DGANGER:
+        effective = min(max(dedup_factor, 1.0), float(config.dganger_tag_factor))
+        capacity = 1.0 / (1.0 - approx_frac * (1.0 - 1.0 / effective))
+        llc = BaselineLLC(
+            config.llc, dram,
+            is_approx=layout.is_approx,
+            capacity_multiplier=capacity,
+            is_approx_batch=layout.is_approx_batch,
+        )
+    elif design == Design.ZERO_AVR:
+        llc = AVRLLC(
+            config.llc, dram,
+            block_size_of=lambda addr: BLOCK_CACHELINES,
+            is_approx=lambda addr: False,
+            is_approx_batch=lambda addrs: np.zeros(addrs.shape, dtype=bool),
+            block_size_of_batch=lambda addrs: np.full(
+                addrs.shape, BLOCK_CACHELINES, dtype=np.int64
+            ),
+        )
+    else:
+        llc = AVRLLC(
+            config.llc, dram,
+            block_size_of=layout.block_size_of,
+            is_approx=layout.is_approx,
+            is_approx_batch=layout.is_approx_batch,
+            block_size_of_batch=layout.block_size_of_batch,
+        )
+    return TimingSystem(get_design(design), config, llc, dram)
+
+
+@pytest.mark.parametrize("design", list(Design), ids=lambda d: d.value)
+def test_registry_bit_identical_to_legacy_factory(design, seed_context):
+    """Acceptance: the five paper designs, registry vs enum path."""
+    ctx = seed_context
+    dedup = ctx["dedup"] if design is Design.DGANGER else 1.0
+    legacy = _legacy_build_system(
+        design, ctx["config"], ctx["layout"], ctx["footprint"], dedup
+    ).run(ctx["trace"])
+    registry = build_system(
+        design, ctx["config"], ctx["layout"], ctx["footprint"], dedup
+    ).run(ctx["trace"])
+    assert registry.metrics_equal(legacy), registry.metric_diffs(legacy)
+
+
+# ----------------------------------------------------------------------
+# new variants run end-to-end (sweep / scenario / ablation / CLI)
+# ----------------------------------------------------------------------
+class TestNewVariantsEndToEnd:
+    def test_variants_through_sweep(self):
+        from repro.harness import evaluate_workload
+
+        ev = evaluate_workload(
+            "heat", scale=SCALE, max_accesses_per_core=ACCESSES,
+            config=SystemConfig.scaled(num_cores=2),
+            designs=("baseline", "AVR", "avr-conservative", "truncate-16"),
+        )
+        assert {d.value for d in ev.runs} == {
+            "baseline", "AVR", "avr-conservative", "truncate-16",
+        }
+        avr = ev.runs["AVR"]
+        conservative = ev.runs["avr-conservative"]
+        t16 = ev.runs["truncate-16"]
+        # Halved error budget => strictly tighter output error than AVR.
+        assert 0 < conservative.output_error < avr.output_error
+        # Self-measured layout (bigger blocks) => its timing genuinely
+        # differs from AVR's on the same trace.
+        assert not conservative.timing.metrics_equal(avr.timing)
+        # Quarter-width lines cut approximate traffic below baseline.
+        assert t16.timing.total_bytes > 0
+        assert ev.normalized("truncate-16", "traffic") < 1.0
+
+    def test_variants_through_scenario(self):
+        from repro.harness.scenario import evaluate_scenario
+
+        ev = evaluate_scenario(
+            "heat@1+lbm@1",
+            designs=("baseline", "avr-conservative"),
+            max_accesses_per_core=2_000,
+        )
+        run = ev.runs["avr-conservative"]
+        assert run.weighted_speedup > 0
+        assert len(run.instances) == 2
+
+    def test_variants_through_ablation(self):
+        from repro.harness import run_llc_ablations
+
+        points = run_llc_ablations(
+            "heat", scale=SCALE, max_accesses_per_core=1_500,
+            config=SystemConfig.scaled(num_cores=2),
+            variants={"full AVR": {}, "no DBUF": {"enable_dbuf": False}},
+            design="avr-conservative",
+        )
+        assert set(points) == {"full AVR", "no DBUF"}
+        assert all(p.cycles > 0 for p in points.values())
+
+    def test_non_avr_design_rejected_by_ablation(self):
+        from repro.harness import run_llc_ablations
+
+        with pytest.raises(ValueError, match="AVR-family"):
+            run_llc_ablations("heat", design="truncate-16")
+
+    def test_variants_through_cli(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "workload", "heat", "--scale", str(SCALE),
+            "--cores", "2", "--accesses", str(ACCESSES),
+            "--designs", "AVR", "avr-conservative", "truncate-16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "avr-conservative" in out and "truncate-16" in out
+
+    def test_cli_unknown_design_did_you_mean(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["workload", "heat", "--designs", "avrr"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        for name in list_designs():
+            assert name in err
+
+    def test_core_files_closed_for_modification(self):
+        """New variants exist purely in the registry: neither the
+        factory nor the legacy enum knows their names."""
+        import inspect
+
+        import repro.common.types as types_mod
+        import repro.system.factory as factory_mod
+
+        factory_src = inspect.getsource(factory_mod)
+        types_src = inspect.getsource(types_mod)
+        for name in ("avr-conservative", "truncate-16"):
+            assert name not in factory_src
+            assert name not in types_src
+        assert [d.value for d in Design] == [
+            "baseline", "dganger", "truncate", "ZeroAVR", "AVR",
+        ]
+
+    def test_compared_tuple_matches_enum_order(self):
+        assert tuple(d.value for d in COMPARED) == (
+            "dganger", "truncate", "ZeroAVR", "AVR",
+        )

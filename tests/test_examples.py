@@ -39,6 +39,12 @@ def test_heat_diffusion_quick():
     assert "normalized to the baseline" in out
 
 
+def test_custom_design():
+    out = run_example("custom_design.py")
+    assert "truncate-8" in out and "avr-nodbuf" in out
+    assert "DBUF hits" in out
+
+
 def test_examples_exist_and_are_documented():
     scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
     assert len(scripts) >= 5
