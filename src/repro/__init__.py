@@ -26,16 +26,20 @@ Public API highlights:
 * :class:`repro.ExperimentSpec` / :func:`repro.run_experiment` — the
   declarative experiment facade (:mod:`repro.experiment`): a whole
   evaluation as one TOML/JSON-serializable, cache-addressable value.
+* :mod:`repro.trace` — vectorized trace synthesis (bit-identical to
+  the reference fragment loop) and the content-keyed, memory-mapped
+  :class:`repro.trace.TraceStore` that warm sweeps map traces from.
 """
 
 from .common import Design, ErrorThresholds, SystemConfig
 from .compression import AVRCompressor
 
-# 1.5.0: the open design registry + declarative Experiment API.
-# Designs are DesignSpec values (not enum members) inside job specs
-# now, so the bump also invalidates every registry-unaware on-disk
-# sweep cache entry.
-__version__ = "1.5.0"
+# 1.6.0: vectorized trace synthesis + the memory-mapped trace store.
+# budget_iterations now matches the generated per-core access count
+# exactly (ceil instead of floor on partial stride tails), which can
+# change traces for stride-unaligned specs, so the bump invalidates
+# every on-disk sweep-cache and trace-store entry.
+__version__ = "1.6.0"
 
 #: sweep-engine names re-exported lazily so ``import repro`` stays
 #: lightweight (the harness pulls in every simulator module).

@@ -19,7 +19,10 @@ serial, bit-identical to parallel runs), ``--cache-dir PATH`` to
 memoize job results on disk so repeated runs skip completed points,
 and ``--engine {vectorized,reference}`` to select the timing-replay
 implementation (the batched fast path and the reference loop produce
-bit-identical results).
+bit-identical results).  ``--trace-store PATH|off`` controls the
+memory-mapped composed-trace store (default: ``<cache-dir>/traces``
+whenever ``--cache-dir`` is given); warm runs map stored traces
+instead of regenerating them.
 """
 
 from __future__ import annotations
@@ -90,6 +93,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "path (default) or the reference "
                              "access-at-a-time loop; results are "
                              "bit-identical")
+    parser.add_argument("--trace-store", default=None, metavar="PATH|off",
+                        help="memory-mapped composed-trace store; "
+                             "default derives <cache-dir>/traces when "
+                             "--cache-dir is set, 'off' disables it")
 
 
 def _print_evaluations(evals) -> None:
@@ -130,6 +137,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         names=names, config=config, scale=args.scale, seed=args.seed,
         designs=designs, max_accesses_per_core=args.accesses,
         jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
+        trace_store=args.trace_store,
     )
     _print_evaluations(evals)
     return 0
@@ -148,6 +156,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         args.name, config=config, scale=args.scale, seed=args.seed,
         designs=designs, max_accesses_per_core=args.accesses,
         jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
+        trace_store=args.trace_store,
     )
     print(f"{args.name}: footprint {ev.footprint_bytes / 1e6:.1f} MB, "
           f"AVR ratio {ev.avr_compression_ratio:.1f}:1, "
@@ -199,6 +208,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         scenario, config=config, designs=designs, seed=args.seed,
         max_accesses_per_core=args.accesses,
         jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
+        trace_store=args.trace_store,
     )
 
     print(f"scenario {ev.name}: {scenario.mix_string()} — "
@@ -310,6 +320,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
           f"{', '.join(spec.designs)}")
     result = run_experiment(
         spec, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
+        trace_store=args.trace_store,
     )
 
     if result.evaluations:
@@ -345,7 +356,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     stats = result.stats
     print()
     print(f"sweep: {stats.executed} job(s) executed, "
-          f"{stats.cache_hits} cache hit(s), {stats.cache_misses} miss(es)")
+          f"{stats.cache_hits} cache hit(s), {stats.cache_misses} miss(es), "
+          f"{stats.traces_mapped} trace(s) mapped, "
+          f"{stats.traces_generated} generated")
     if args.expect_cached and stats.executed:
         print(f"error: expected a fully cache-served run but "
               f"{stats.executed} job(s) executed", file=sys.stderr)
@@ -403,6 +416,9 @@ def main(argv: list[str] | None = None) -> int:
                       help="override the spec's result-cache directory")
     p_ex.add_argument("--engine", choices=ENGINES, default=None,
                       help="override the spec's timing-replay engine")
+    p_ex.add_argument("--trace-store", default=None, metavar="PATH|off",
+                      help="override the spec's trace-store directory "
+                           "('off' disables the store)")
     p_ex.add_argument("--expect-cached", action="store_true",
                       help="exit 1 unless every job was served from the "
                            "cache (CI warm-cache assertion)")

@@ -81,6 +81,10 @@ class ExperimentSpec:
     jobs: int = 1
     #: default on-disk result-cache directory (None = no cache)
     cache_dir: str | None = None
+    #: memory-mapped composed-trace store directory; None derives
+    #: ``<cache_dir>/traces`` when caching, ``"off"`` disables it (see
+    #: :func:`repro.trace.store.resolve_trace_store`)
+    trace_store: str | None = None
 
     def __post_init__(self) -> None:
         for name, kind in (("workloads", str), ("scenarios", str),
@@ -115,8 +119,11 @@ class ExperimentSpec:
     # ------------------------------------------------------------------
     #: fields that do not affect results: the display label, execution
     #: settings, and the engine (both engines are bit-identical, as the
-    #: sweep-cache keys already assume)
-    _NON_IDENTITY_FIELDS = frozenset({"name", "jobs", "cache_dir", "engine"})
+    #: sweep-cache keys already assume); stored traces are bit-identical
+    #: to regenerated ones, so the trace store is execution-only too
+    _NON_IDENTITY_FIELDS = frozenset(
+        {"name", "jobs", "cache_dir", "engine", "trace_store"}
+    )
 
     def content_hash(self) -> str:
         """Stable SHA-256 of the spec's *grid identity*.
@@ -284,6 +291,7 @@ def run_experiment(
     jobs: int | None = None,
     cache_dir: str | Path | None = None,
     engine: str | None = None,
+    trace_store: str | Path | bool | None = None,
 ) -> ExperimentResult:
     """Execute an experiment spec (or spec file) end to end.
 
@@ -293,8 +301,8 @@ def run_experiment(
     decomposed into the same sweep job units, so results are
     bit-identical to the equivalent programmatic calls and cache
     entries are shared with them.  ``jobs`` / ``cache_dir`` /
-    ``engine`` override the spec's execution settings without touching
-    its identity.
+    ``engine`` / ``trace_store`` override the spec's execution
+    settings without touching its identity.
     """
     from .harness.sweep import run_sweep
 
@@ -307,5 +315,6 @@ def run_experiment(
         spec.to_sweep_spec(),
         jobs=jobs if jobs is not None else spec.jobs,
         cache_dir=resolved_cache,
+        trace_store=trace_store if trace_store is not None else spec.trace_store,
     )
     return ExperimentResult(spec=spec, sweep=sweep)

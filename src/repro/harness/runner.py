@@ -137,6 +137,7 @@ def evaluate_workload(
     jobs: int = 1,
     cache_dir=None,
     engine: str = "vectorized",
+    trace_store=None,
     **workload_kwargs,
 ) -> WorkloadEvaluation:
     """Run one workload through the functional and timing layers.
@@ -145,7 +146,9 @@ def evaluate_workload(
     for a single-point grid.  ``jobs`` parallelizes across this
     workload's designs; ``cache_dir`` reuses previously computed job
     results (see :mod:`repro.harness.cache`); ``engine`` selects the
-    timing-replay implementation (both produce identical results).
+    timing-replay implementation (both produce identical results);
+    ``trace_store`` selects the memory-mapped trace store (default:
+    ``<cache_dir>/traces`` when caching).
     """
     from .sweep import SweepSpec, run_sweep
 
@@ -160,7 +163,9 @@ def evaluate_workload(
         workload_kwargs=tuple(sorted(workload_kwargs.items())),
         engine=engine,
     )
-    return run_sweep(spec, jobs=jobs, cache_dir=cache_dir).by_workload()[name]
+    return run_sweep(
+        spec, jobs=jobs, cache_dir=cache_dir, trace_store=trace_store
+    ).by_workload()[name]
 
 
 def evaluate_all(
@@ -173,14 +178,17 @@ def evaluate_all(
     jobs: int = 1,
     cache_dir=None,
     engine: str = "vectorized",
+    trace_store=None,
 ) -> dict[str, WorkloadEvaluation]:
     """Evaluate every workload (paper order).
 
     Built on the sweep engine: ``jobs`` fans the grid's functional and
     timing job units out over a process pool (``1`` keeps the fully
     serial, in-process path), ``cache_dir`` enables the on-disk result
-    cache so repeated evaluations skip completed points, and ``engine``
-    selects the timing-replay implementation.
+    cache so repeated evaluations skip completed points, ``engine``
+    selects the timing-replay implementation, and ``trace_store``
+    selects the memory-mapped trace store (default:
+    ``<cache_dir>/traces`` when caching).
     """
     from ..workloads import WORKLOADS
     from .sweep import SweepSpec, run_sweep
@@ -194,4 +202,6 @@ def evaluate_all(
         max_accesses_per_core=max_accesses_per_core,
         engine=engine,
     )
-    return run_sweep(spec, jobs=jobs, cache_dir=cache_dir).by_workload()
+    return run_sweep(
+        spec, jobs=jobs, cache_dir=cache_dir, trace_store=trace_store
+    ).by_workload()

@@ -56,6 +56,7 @@ from ..scenario import (
 from ..system.layout import AddressLayout
 from ..system.simulator import SimResult
 from ..trace.generator import GeneratedTrace, budget_iterations, generate_trace
+from ..trace.store import TraceHandle, TraceStore
 from ..workloads.base import Workload, WorkloadResult
 from .cache import ResultCache, content_key
 from .runner import _build_layout
@@ -72,6 +73,7 @@ __all__ = [
     "scenario_functional_designs",
     "scenario_subsets",
     "scenario_timing_context",
+    "scenario_trace_key",
 ]
 
 #: designs a scenario evaluation compares by default (baseline anchors
@@ -183,6 +185,11 @@ class ScenarioContext:
     instance_footprints: list[int]
     scale_factors: list[float]
     dedup_factors: DesignMap
+    #: memory-mapped trace store consulted before composing the trace
+    #: (None = always generate in-process), plus this point's content
+    #: key in it — see :func:`scenario_trace_key`
+    store: TraceStore | None = field(default=None, repr=False)
+    store_key: str | None = None
     _trace: GeneratedTrace | None = field(default=None, repr=False)
 
     @property
@@ -195,24 +202,64 @@ class ScenarioContext:
         return self.layouts[layout_source_design(design)]
 
     def trace(self) -> GeneratedTrace:
-        """The composed machine-wide trace (generated on first use)."""
+        """The composed machine-wide trace.
+
+        With a :class:`~repro.trace.store.TraceStore` attached, a warm
+        run memory-maps the stored composed stream instead of
+        regenerating and recomposing per-instance traces; a cold run
+        generates it once and commits it for the next run.  Without a
+        store the trace is generated in-process on first use.
+        """
         if self._trace is None:
-            per_instance = [
-                generate_trace(
-                    workload.trace_spec(),
-                    reference.memory,
-                    num_cores=plan.entry.cores,
-                    max_accesses_per_core=self.point.max_accesses_per_core,
-                    seed=plan.seed,
+            if self.store is not None and self.store_key is not None:
+                self._trace = self.store.get_or_generate(
+                    self.store_key, self._compose
                 )
-                for plan, workload, reference in zip(
-                    self.plans, self.workloads, self.references
-                )
-            ]
-            self._trace = compose_traces(
-                per_instance, self.plans, self.offsets, self.num_cores
-            )
+            else:
+                self._trace = self._compose()
         return self._trace
+
+    def _compose(self) -> GeneratedTrace:
+        per_instance = [
+            generate_trace(
+                workload.trace_spec(),
+                reference.memory,
+                num_cores=plan.entry.cores,
+                max_accesses_per_core=self.point.max_accesses_per_core,
+                seed=plan.seed,
+            )
+            for plan, workload, reference in zip(
+                self.plans, self.workloads, self.references
+            )
+        ]
+        return compose_traces(
+            per_instance, self.plans, self.offsets, self.num_cores
+        )
+
+    def trace_payload(self) -> GeneratedTrace | TraceHandle:
+        """What a timing job should carry as its trace argument.
+
+        When the composed trace is committed to the store, jobs get a
+        tiny picklable :class:`~repro.trace.store.TraceHandle` and the
+        worker maps the shared payload file; otherwise they carry the
+        arrays themselves (the historical behaviour).
+        """
+        trace = self.trace()
+        if (
+            self.store is not None
+            and self.store_key is not None
+            and self.store.contains(self.store_key)
+        ):
+            return TraceHandle(root=str(self.store.root), key=self.store_key)
+        return trace
+
+    def subset_payload(
+        self, active: tuple[int, ...]
+    ) -> GeneratedTrace | TraceHandle:
+        """Trace argument for a subset replay (full mix -> handle)."""
+        if len(active) == len(self.plans):
+            return self.trace_payload()
+        return self.subset_trace(active)
 
     def subset_trace(self, active: tuple[int, ...]) -> GeneratedTrace:
         """The composed trace with only ``active`` instances populated."""
@@ -235,18 +282,42 @@ class ScenarioContext:
         )
 
 
+def scenario_trace_key(point: ScenarioPoint, num_cores: int) -> str:
+    """Content key of one point's composed machine-wide trace.
+
+    Covers everything trace composition consumes: the mix's entries,
+    placement, seed and access budget (via the point's canonical form),
+    the machine width, and the package version.  Excluded, like the
+    timing keys: the scenario's cosmetic ``name``, and the error
+    ``thresholds`` — traces are generated from reference (exact)
+    memory layouts, so every threshold setting of one mix maps the
+    same stored stream.
+    """
+    from dataclasses import replace
+
+    identity = replace(
+        point,
+        scenario=replace(point.scenario, name=""),
+        thresholds=None,
+    )
+    return content_key("scenario-trace", __version__, identity, num_cores)
+
+
 def build_scenario_context(
     point: ScenarioPoint,
     config: SystemConfig,
     functional_for,
     designs=SCENARIO_DESIGNS,
+    store: TraceStore | None = None,
 ) -> ScenarioContext:
     """Compose per-instance functional results into one machine view.
 
     ``functional_for(sweep_point, design)`` supplies the (possibly
     cached) :class:`WorkloadResult` of one instance configuration —
     the seam that lets :func:`repro.harness.sweep.run_sweep` and the
-    standalone :func:`evaluate_scenario` share this builder.
+    standalone :func:`evaluate_scenario` share this builder.  With a
+    ``store``, the context serves its composed trace from (and commits
+    it to) the memory-mapped trace store.
     """
     designs = resolve_designs(designs)
     scenario = point.scenario
@@ -327,6 +398,12 @@ def build_scenario_context(
         instance_footprints=footprints,
         scale_factors=scale_factors,
         dedup_factors=dedup_factors,
+        store=store,
+        store_key=(
+            scenario_trace_key(point, config.num_cores)
+            if store is not None
+            else None
+        ),
     )
 
 
@@ -527,6 +604,7 @@ def evaluate_scenario(
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     engine: str = "vectorized",
+    trace_store=None,
 ) -> ScenarioEvaluation:
     """Run one multi-programmed mix end to end.
 
@@ -535,6 +613,8 @@ def evaluate_scenario(
     :class:`Scenario`, a registry name (``heat+lbm``) or a mix string
     (``kmeans*2+heat@2``).  The machine defaults to exactly the mix's
     core count; a wider ``config`` leaves the extra cores idle.
+    ``trace_store`` follows :func:`repro.trace.store.resolve_trace_store`
+    semantics (default: ``<cache_dir>/traces`` when caching).
     """
     from .sweep import SweepSpec, run_sweep
 
@@ -550,9 +630,9 @@ def evaluate_scenario(
         max_accesses_per_core=max_accesses_per_core,
         engine=engine,
     )
-    return run_sweep(spec, jobs=jobs, cache_dir=cache_dir).by_scenario()[
-        scenario.name
-    ]
+    return run_sweep(
+        spec, jobs=jobs, cache_dir=cache_dir, trace_store=trace_store
+    ).by_scenario()[scenario.name]
 
 
 def scenario_timing_context(
@@ -560,13 +640,15 @@ def scenario_timing_context(
     config: SystemConfig | None = None,
     seed: int = 0,
     max_accesses_per_core: int = 50_000,
+    store: TraceStore | None = None,
 ) -> tuple[SystemConfig, AddressLayout, GeneratedTrace, int]:
     """Composed (config, layout, trace, footprint) of a mix's full co-run.
 
     The scenario analogue of ``bench_timing.build_context``: runs the
     functional layer serially in-process and returns everything a
-    timing replay of the complete mix needs — used by the benchmark's
-    ``--scenario`` mode and the CI scenario smoke job.
+    timing replay of the complete mix needs — used by the benchmarks'
+    ``--scenario`` modes and the CI scenario smoke job.  With a
+    ``store``, the composed trace is served from / committed to it.
     """
     from .sweep import run_functional_job
 
@@ -584,6 +666,6 @@ def scenario_timing_context(
         return cache[key]
 
     context = build_scenario_context(
-        point, config, functional_for, designs=(BASELINE, AVR)
+        point, config, functional_for, designs=(BASELINE, AVR), store=store
     )
     return config, context.layout, context.trace(), context.footprint_bytes

@@ -53,6 +53,7 @@ from ..system.factory import build_system
 from ..system.layout import AddressLayout
 from ..system.simulator import SimResult
 from ..trace.generator import GeneratedTrace
+from ..trace.store import TraceHandle, TraceStore, resolve_trace_store
 from ..workloads import WORKLOADS, make_workload
 from ..workloads.base import Workload, WorkloadResult
 from .cache import ResultCache, content_key
@@ -241,7 +242,7 @@ def run_timing_job(
     design: DesignSpec,
     config: SystemConfig,
     layout: AddressLayout,
-    trace: GeneratedTrace,
+    trace: GeneratedTrace | TraceHandle,
     footprint_bytes: int,
     dedup_factor: float = 1.0,
     avr_options: dict | None = None,
@@ -251,11 +252,18 @@ def run_timing_job(
 
     ``layout`` and ``trace`` are derived deterministically from the
     point's functional results, so this too is a pure function of its
-    arguments.  ``avr_options`` forwards LLC ablation flags; ``engine``
+    arguments.  ``trace`` may arrive as a
+    :class:`~repro.trace.store.TraceHandle`: a content-keyed reference
+    into the memory-mapped trace store, which the job resolves here —
+    so worker processes map the shared payload file instead of
+    unpickling megabytes of trace, and replay bit-identically either
+    way.  ``avr_options`` forwards LLC ablation flags; ``engine``
     selects the replay implementation (``"vectorized"`` fast path or
-    the ``"reference"`` loop — bit-identical results either way, so the
-    choice does not enter the cache key).
+    the ``"reference"`` loop — bit-identical results either way, so
+    neither choice enters the cache key).
     """
+    if isinstance(trace, TraceHandle):
+        trace = trace.load()
     system = build_system(
         design, config, layout, footprint_bytes, dedup_factor,
         avr_options=avr_options,
@@ -333,6 +341,10 @@ class SweepStats:
     timing_executed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: composed traces memory-mapped from the trace store vs generated
+    #: (and committed) this run — a warm store maps everything
+    traces_mapped: int = 0
+    traces_generated: int = 0
 
     @property
     def executed(self) -> int:
@@ -460,6 +472,7 @@ def run_sweep(
     spec: SweepSpec,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
+    trace_store: TraceStore | str | Path | bool | None = None,
 ) -> SweepResult:
     """Evaluate every point of ``spec`` and reassemble the results.
 
@@ -469,9 +482,22 @@ def run_sweep(
     :class:`~repro.harness.runner.WorkloadEvaluation` objects.  With
     ``cache_dir`` set, job results are reused across runs; a warm cache
     re-executes nothing (``result.stats.executed == 0``).
+
+    ``trace_store`` selects the memory-mapped composed-trace store
+    (see :func:`repro.trace.store.resolve_trace_store`): by default a
+    ``traces/`` directory under ``cache_dir``, so warm runs that still
+    need a trace — new designs, a cleared result cache — map the
+    stored stream instead of regenerating it; ``False``/``"off"``
+    disables it.  Stored or not, traces are bit-identical, so the
+    result-cache keys are unaffected.
     """
     config = spec.resolved_config()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    store = resolve_trace_store(trace_store, cache_dir)
+    # Snapshot so a caller-supplied store's prior traffic is not
+    # attributed to this run.
+    store_hits0 = store.stats.hits if store is not None else 0
+    store_stores0 = store.stats.stores if store is not None else 0
     points = spec.points()
     scenario_points = spec.scenario_points()
     needed_functional = functional_designs(spec.designs)
@@ -528,7 +554,7 @@ def run_sweep(
                 max_accesses_per_core=point.max_accesses_per_core,
             )
             context = build_scenario_context(
-                solo, config, functional_for, designs=spec.designs
+                solo, config, functional_for, designs=spec.designs, store=store
             )
             contexts.append((point, workload, reference, context.layout))
             for design in spec.designs:
@@ -550,7 +576,7 @@ def run_sweep(
                     design,
                     config,
                     context.layout_for(design),
-                    context.trace(),
+                    context.trace_payload(),
                     reference.memory.footprint_bytes,
                     dedup,
                 )
@@ -560,7 +586,7 @@ def run_sweep(
         scenario_contexts = []
         for spoint in scenario_points:
             context = build_scenario_context(
-                spoint, config, functional_for, designs=spec.designs
+                spoint, config, functional_for, designs=spec.designs, store=store
             )
             scenario_contexts.append(context)
             subsets = scenario_subsets(len(context.plans))
@@ -576,12 +602,15 @@ def run_sweep(
                         design,
                         config,
                         context.layout_for(design),
-                        context.subset_trace(active),
+                        context.subset_payload(active),
                         context.footprint_bytes,
                         context.dedup_factors.get(design, 1.0),
                     )
         timing.update(_execute_jobs(pool, cache, timing_jobs, stats))
         stats.timing_executed += len(timing_jobs)
+    if store is not None:
+        stats.traces_mapped = store.stats.hits - store_hits0
+        stats.traces_generated = store.stats.stores - store_stores0
 
     # --- stage 3: reassemble WorkloadEvaluations ----------------------
     result = SweepResult(spec=spec, stats=stats)

@@ -7,6 +7,25 @@ address streams.  Multi-core runs use domain decomposition: each core
 sweeps its contiguous slice of every phase, as the paper's OpenMP-style
 benchmarks do.
 
+Two generator implementations produce bit-identical streams:
+
+* ``generator="vectorized"`` (the default) synthesizes each core's
+  full stream in one columnar pass: the per-iteration access pattern
+  is materialized once as a *template* (addresses, write flags,
+  rolling-window advance per element), the (iteration x template)
+  grid is expanded with a single broadcast add, and all gap jitter is
+  drawn in one RNG call per core.
+* ``generator="reference"`` is the historical per-(iteration, phase)
+  fragment loop, retained as the differential-testing anchor — the
+  vectorized path is pinned bit-identical to it by the trace
+  equivalence suite.
+
+Bit-identity holds because ``numpy``'s bounded ``integers`` sampling
+consumes the underlying bit stream sequentially (the 32-bit buffer is
+part of the generator state), so one draw of N values equals N draws of
+one value — the vectorized path draws exactly the values the reference
+loop would, in the same order.
+
 Trace volume is bounded by ``max_accesses_per_core``: when the spec's
 full iteration count would exceed it, a prefix of iterations is
 generated and the *scale factor* recorded, so the harness can report
@@ -23,6 +42,13 @@ import numpy as np
 from ..approx.memory import ApproxMemory
 from ..workloads.base import Phase, TraceSpec
 from .events import TRACE_DTYPE, concat_traces, make_trace
+
+#: trace-generator implementations accepted by :func:`generate_trace`
+GENERATORS = ("vectorized", "reference")
+
+#: exclusive bound of the per-access gap jitter (cores drift out of
+#: lockstep by 0-2 extra instructions per access)
+_JITTER_BOUND = 3
 
 
 @dataclass
@@ -81,16 +107,14 @@ def _phase_addresses(
     num_cores: int,
 ) -> np.ndarray:
     """Cacheline-granular addresses for one phase, one core, one iteration."""
+    span = phase.span_bytes(nbytes, iterations_total)
+    slice_span = phase.slice_span(nbytes, iterations_total, num_cores)
     if phase.rolling:
         # Streaming-log pattern: iteration i touches the i-th window.
-        window = nbytes // max(iterations_total, 1)
-        start = base + iteration * window
-        span = window
+        start = base + iteration * span
     else:
         start = base
-        span = int(nbytes * phase.fraction)
     # Domain decomposition across cores.
-    slice_span = span // max(num_cores, 1)
     start += core * slice_span
     if slice_span < phase.stride:
         return np.empty(0, dtype=np.int64)
@@ -108,9 +132,12 @@ def budget_iterations(
 ) -> int:
     """Iterations actually simulated under the per-core access budget.
 
-    The cost of one iteration for one core is derived from the spec's
-    phases; when the full iteration count would blow the budget, a
-    prefix is simulated and the caller reports the
+    The cost of one iteration for one core is the *exact* per-core
+    access count the generator emits (via the :class:`Phase` geometry
+    helpers — the same arithmetic both generator implementations use),
+    so ``iterations * per-iteration cost`` always equals the generated
+    stream length.  When the full iteration count would blow the
+    budget, a prefix is simulated and the caller reports the
     :attr:`GeneratedTrace.scale_factor`.  Exposed separately from
     :func:`generate_trace` so the scenario harness can compute scale
     factors without paying for trace generation (e.g. on a warm sweep
@@ -119,16 +146,164 @@ def budget_iterations(
     per_iter = 0
     for phase in spec.phases:
         region = mem.region(phase.region)
-        span = (
-            region.nbytes // max(spec.iterations, 1)
-            if phase.rolling
-            else int(region.nbytes * phase.fraction)
-        )
-        per_iter += (span // max(num_cores, 1) // phase.stride) * phase.repeats * (
-            (1 if phase.reads else 0) + (1 if phase.writes else 0)
+        per_iter += (
+            phase.lines_per_core(region.nbytes, spec.iterations, num_cores)
+            * phase.accesses_per_line
         )
     per_iter = max(per_iter, 1)
     return max(1, min(spec.iterations, max_accesses_per_core // per_iter))
+
+
+# ----------------------------------------------------------------------
+# vectorized implementation
+# ----------------------------------------------------------------------
+def _core_template(
+    spec: TraceSpec, mem: ApproxMemory, core: int, num_cores: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[tuple[Phase, int, int, int]]]:
+    """One core's per-iteration access pattern as columnar arrays.
+
+    Returns ``(addrs, writes, steps, blocks)``: the iteration-0
+    addresses (read-modify-write lines already doubled), the write
+    flags, the per-element address advance between iterations (the
+    rolling window size, 0 for fixed phases), and per-phase
+    ``(phase, jitter_count, access_offset, access_count)`` bookkeeping
+    for gap assembly.  Phases whose core slice emits nothing are
+    skipped entirely — exactly as the reference loop skips them before
+    drawing any jitter.
+    """
+    addr_parts: list[np.ndarray] = []
+    write_parts: list[np.ndarray] = []
+    step_parts: list[np.ndarray] = []
+    blocks: list[tuple[Phase, int, int, int]] = []
+    offset = 0
+    for phase in spec.phases:
+        region = mem.region(phase.region)
+        addrs = _phase_addresses(
+            phase, region.base_addr, region.nbytes,
+            0, spec.iterations, core, num_cores,
+        )
+        if addrs.size == 0:
+            continue
+        lines = addrs.size
+        step = phase.span_bytes(region.nbytes, spec.iterations) if phase.rolling else 0
+        if phase.reads and phase.writes:
+            # Read-modify-write sweep: a read and a write per line,
+            # interleaved in program order.
+            addr_parts.append(np.repeat(addrs, 2))
+            write_parts.append(np.tile([False, True], lines))
+            count = 2 * lines
+        else:
+            addr_parts.append(addrs)
+            write_parts.append(np.full(lines, phase.writes))
+            count = lines
+        step_parts.append(np.full(count, step, dtype=np.int64))
+        blocks.append((phase, lines, offset, count))
+        offset += count
+    if not addr_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=bool), empty, blocks
+    return (
+        np.concatenate(addr_parts),
+        np.concatenate(write_parts),
+        np.concatenate(step_parts),
+        blocks,
+    )
+
+
+def _generate_core_vectorized(
+    spec: TraceSpec,
+    mem: ApproxMemory,
+    core: int,
+    num_cores: int,
+    iterations: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One core's full stream in one columnar pass.
+
+    The (iteration x template) grid is a broadcast add of the rolling
+    steps; all jitter is one RNG draw, reshaped so column ``j`` of
+    iteration ``i`` is exactly the value the reference loop's
+    per-fragment draw would produce at that position.
+    """
+    addrs0, writes0, steps, blocks = _core_template(spec, mem, core, num_cores)
+    width = addrs0.size
+    if width == 0 or iterations == 0:
+        return np.empty(0, dtype=TRACE_DTYPE)
+    jitter_width = sum(lines for _, lines, _, _ in blocks)
+    jitter = rng.integers(
+        0, _JITTER_BOUND, iterations * jitter_width, dtype=np.uint32
+    ).reshape(iterations, jitter_width)
+
+    out = np.empty(iterations * width, dtype=TRACE_DTYPE)
+    grid = addrs0[None, :] + steps[None, :] * np.arange(
+        iterations, dtype=np.int64
+    )[:, None]
+    out["addr"] = grid.reshape(-1)
+    out["write"] = np.tile(writes0, iterations)
+
+    gaps = np.zeros((iterations, width), dtype=np.uint32)
+    jitter_col = 0
+    for phase, lines, offset, count in blocks:
+        cols = jitter[:, jitter_col : jitter_col + lines]
+        jitter_col += lines
+        if count == 2 * lines:
+            # Read-modify-write: the read carries the gap, the paired
+            # write follows immediately (gap 0).
+            gaps[:, offset : offset + count : 2] = np.uint32(phase.gap) + cols
+        else:
+            gaps[:, offset : offset + count] = np.uint32(phase.gap) + cols
+    out["gap"] = gaps.reshape(-1)
+    return out
+
+
+# ----------------------------------------------------------------------
+# reference implementation (the differential-testing anchor)
+# ----------------------------------------------------------------------
+def _generate_core_reference(
+    spec: TraceSpec,
+    mem: ApproxMemory,
+    core: int,
+    num_cores: int,
+    iterations: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """The historical per-(iteration, phase) fragment loop."""
+    fragments: list[np.ndarray] = []
+    for iteration in range(iterations):
+        for phase in spec.phases:
+            region = mem.region(phase.region)
+            addrs = _phase_addresses(
+                phase, region.base_addr, region.nbytes,
+                iteration, spec.iterations, core, num_cores,
+            )
+            if addrs.size == 0:
+                continue
+            gaps = np.full(addrs.size, phase.gap, dtype=np.uint32)
+            # Jitter gaps slightly so cores drift out of lockstep.
+            gaps += rng.integers(0, _JITTER_BOUND, addrs.size, dtype=np.uint32)
+            if phase.reads and phase.writes:
+                # Read-modify-write sweep: emit a read and a write
+                # per line (interleaved in program order).
+                n = addrs.size
+                both = np.empty(2 * n, dtype=TRACE_DTYPE)
+                both["addr"][0::2] = addrs
+                both["addr"][1::2] = addrs
+                both["write"][0::2] = False
+                both["write"][1::2] = True
+                both["gap"][0::2] = gaps
+                both["gap"][1::2] = 0
+                fragments.append(both)
+            else:
+                fragments.append(
+                    make_trace(addrs, np.full(addrs.size, phase.writes), gaps)
+                )
+    return concat_traces(fragments)
+
+
+_GENERATOR_FNS = {
+    "vectorized": _generate_core_vectorized,
+    "reference": _generate_core_reference,
+}
 
 
 def generate_trace(
@@ -138,6 +313,7 @@ def generate_trace(
     max_accesses_per_core: int = 300_000,
     seed: int = 0,
     per_core_streams: bool = False,
+    generator: str = "vectorized",
 ) -> GeneratedTrace:
     """Build per-core traces for a workload's main loop.
 
@@ -146,9 +322,15 @@ def generate_trace(
     randomness is the seeded per-access gap jitter that drifts cores
     out of lockstep.  The sweep engine relies on this determinism to
     rebuild identical traces in the parent process regardless of where
-    the functional jobs ran.  When the spec's full iteration count
+    the functional jobs ran, and the trace store relies on it to key
+    stored traces by content.  When the spec's full iteration count
     would exceed the per-core access budget, a prefix of iterations is
     generated and recorded in the result's ``scale_factor``.
+
+    ``generator`` selects the implementation (see :data:`GENERATORS`):
+    the columnar ``"vectorized"`` fast path (default) or the
+    ``"reference"`` fragment loop — bit-identical results either way,
+    so the choice never enters content keys.
 
     By default all cores draw jitter from one sequential RNG stream
     (the historical behaviour — existing single-workload traces stay
@@ -160,6 +342,12 @@ def generate_trace(
     which is what keeps two instances of one workload from emitting
     identical streams.
     """
+    try:
+        generate_core = _GENERATOR_FNS[generator]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace generator {generator!r}; expected one of {GENERATORS}"
+        ) from None
     iters_sim = budget_iterations(spec, mem, num_cores, max_accesses_per_core)
 
     if per_core_streams:
@@ -172,36 +360,9 @@ def generate_trace(
     cores: list[np.ndarray] = []
     for core in range(num_cores):
         rng = core_rngs[core] if per_core_streams else shared_rng
-        fragments: list[np.ndarray] = []
-        for iteration in range(iters_sim):
-            for phase in spec.phases:
-                region = mem.region(phase.region)
-                addrs = _phase_addresses(
-                    phase, region.base_addr, region.nbytes,
-                    iteration, spec.iterations, core, num_cores,
-                )
-                if addrs.size == 0:
-                    continue
-                gaps = np.full(addrs.size, phase.gap, dtype=np.uint32)
-                # Jitter gaps slightly so cores drift out of lockstep.
-                gaps += rng.integers(0, 3, addrs.size, dtype=np.uint32)
-                if phase.reads and phase.writes:
-                    # Read-modify-write sweep: emit a read and a write
-                    # per line (interleaved in program order).
-                    n = addrs.size
-                    both = np.empty(2 * n, dtype=TRACE_DTYPE)
-                    both["addr"][0::2] = addrs
-                    both["addr"][1::2] = addrs
-                    both["write"][0::2] = False
-                    both["write"][1::2] = True
-                    both["gap"][0::2] = gaps
-                    both["gap"][1::2] = 0
-                    fragments.append(both)
-                else:
-                    fragments.append(
-                        make_trace(addrs, np.full(addrs.size, phase.writes), gaps)
-                    )
-        cores.append(concat_traces(fragments))
+        cores.append(
+            generate_core(spec, mem, core, num_cores, iters_sim, rng)
+        )
     return GeneratedTrace(
         cores=cores,
         iterations_simulated=iters_sim,

@@ -45,6 +45,48 @@ class Phase:
     #: the streaming-log pattern (e.g. orbit's history arrays)
     rolling: bool = False
 
+    # ------------------------------------------------------------------
+    # sweep geometry
+    # ------------------------------------------------------------------
+    # The single source of truth for how many addresses this phase
+    # emits: the trace generator (both the vectorized and the reference
+    # implementation) and the access-budget accounting all derive their
+    # counts from these helpers, which is what keeps
+    # ``budget_iterations`` exactly equal to the generated stream.
+
+    @property
+    def accesses_per_line(self) -> int:
+        """Accesses emitted per swept cacheline (2 for read-modify-write)."""
+        return (1 if self.reads else 0) + (1 if self.writes else 0)
+
+    def span_bytes(self, nbytes: int, iterations: int) -> int:
+        """Bytes one iteration of this phase sweeps (per full region).
+
+        Rolling phases advance through successive ``nbytes /
+        iterations`` windows; fixed phases sweep ``fraction`` of the
+        region from its base every iteration.
+        """
+        if self.rolling:
+            return nbytes // max(iterations, 1)
+        return int(nbytes * self.fraction)
+
+    def slice_span(self, nbytes: int, iterations: int, num_cores: int) -> int:
+        """Bytes of one core's domain-decomposition slice of the sweep."""
+        return self.span_bytes(nbytes, iterations) // max(num_cores, 1)
+
+    def lines_per_core(self, nbytes: int, iterations: int, num_cores: int) -> int:
+        """Cacheline addresses one core emits per iteration.
+
+        Includes ``repeats`` but not the read-modify-write doubling
+        (see :attr:`accesses_per_line`).  A slice narrower than the
+        stride emits nothing — the sweep cannot place a single strided
+        access inside it.
+        """
+        span = self.slice_span(nbytes, iterations, num_cores)
+        if span < self.stride:
+            return 0
+        return -(-span // self.stride) * self.repeats
+
 
 @dataclass(frozen=True)
 class TraceSpec:

@@ -1,0 +1,262 @@
+"""Tests for the content-keyed, memory-mapped trace store.
+
+Covers the durability contract (atomic payload-then-record commits,
+torn entries read as misses), content-key invalidation on version
+bumps, concurrent writers racing benignly on one key, and the sweep
+engine's warm path: a cleared result cache with an intact trace store
+memory-maps the composed trace instead of regenerating it.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+import repro
+from repro.approx import ApproxMemory
+from repro.trace import (
+    TraceHandle,
+    TraceStore,
+    generate_trace,
+    resolve_trace_store,
+    trace_key,
+)
+from repro.workloads.base import Phase, TraceSpec
+
+SPEC = TraceSpec(4, (Phase("data", gap=9),))
+
+
+def make_mem() -> ApproxMemory:
+    mem = ApproxMemory()
+    mem.alloc("data", 16 * 1024 // 4)  # 16 KB
+    return mem
+
+
+def make_trace_and_key(num_cores=2, budget=5_000, seed=0):
+    mem = make_mem()
+    key = trace_key(SPEC, mem, num_cores, budget, seed)
+    trace = generate_trace(
+        SPEC, mem, num_cores=num_cores, max_accesses_per_core=budget, seed=seed
+    )
+    return key, trace
+
+
+def assert_traces_identical(a, b):
+    assert a.iterations_simulated == b.iterations_simulated
+    assert a.iterations_total == b.iterations_total
+    assert len(a.cores) == len(b.cores)
+    for x, y in zip(a.cores, b.cores):
+        assert x.dtype == y.dtype
+        assert np.array_equal(x, y)
+
+
+def _concurrent_writer(root: str, _worker: int) -> int:
+    """Module-level so it pickles into pool workers: everyone races to
+    commit the same content-keyed entry."""
+    key, trace = make_trace_and_key()
+    store = TraceStore(root)
+    store.put(key, trace)
+    return store.get(key).total_accesses
+
+
+class TestRoundTrip:
+    def test_memmap_round_trip_bit_identical(self, tmp_path):
+        key, trace = make_trace_and_key()
+        store = TraceStore(tmp_path)
+        assert not store.contains(key)
+        store.put(key, trace)
+        assert store.contains(key)
+        assert len(store) == 1
+        mapped = store.get(key)
+        assert_traces_identical(mapped, trace)
+        # The warm path maps the payload read-only; nothing is copied.
+        assert not mapped.cores[0].flags.writeable
+
+    def test_miss_returns_none_and_counts(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.get("0" * 64) is None
+        assert store.stats.misses == 1
+        assert store.stats.hits == 0
+
+    def test_get_or_generate_cold_then_warm(self, tmp_path):
+        key, trace = make_trace_and_key()
+        store = TraceStore(tmp_path)
+        calls = []
+
+        def generator():
+            calls.append(1)
+            return trace
+
+        first = store.get_or_generate(key, generator)
+        second = store.get_or_generate(key, generator)
+        assert len(calls) == 1
+        assert store.stats.stores == 1
+        assert store.stats.hits == 1
+        assert_traces_identical(first, second)
+
+    def test_handle_load(self, tmp_path):
+        key, trace = make_trace_and_key()
+        TraceStore(tmp_path).put(key, trace)
+        handle = TraceHandle(root=str(tmp_path), key=key)
+        assert_traces_identical(handle.load(), trace)
+
+    def test_handle_load_missing_entry_raises(self, tmp_path):
+        handle = TraceHandle(root=str(tmp_path), key="0" * 64)
+        with pytest.raises(FileNotFoundError):
+            handle.load()
+
+
+class TestAtomicity:
+    def test_truncated_payload_is_a_miss(self, tmp_path):
+        """A writer that died mid-payload leaves a mis-shaped file; the
+        reader must treat the entry as absent, not surface torn data."""
+        key, trace = make_trace_and_key()
+        store = TraceStore(tmp_path)
+        store.put(key, trace)
+        payload = store._data_path(key)
+        blob = payload.read_bytes()
+        payload.write_bytes(blob[: len(blob) // 2])
+        assert store.get(key) is None
+        assert store.stats.misses == 1
+
+    def test_payload_without_record_is_absent(self, tmp_path):
+        """The index record is the commit marker: payload alone (a crash
+        between the two writes) reads as a clean miss."""
+        key, trace = make_trace_and_key()
+        store = TraceStore(tmp_path)
+        store.put(key, trace)
+        store._meta_path(key).unlink()
+        assert not store.contains(key)
+        assert store.get(key) is None
+
+    def test_record_without_payload_is_a_miss(self, tmp_path):
+        key, trace = make_trace_and_key()
+        store = TraceStore(tmp_path)
+        store.put(key, trace)
+        store._data_path(key).unlink()
+        assert store.get(key) is None
+
+    def test_corrupt_record_is_a_miss(self, tmp_path):
+        key, trace = make_trace_and_key()
+        store = TraceStore(tmp_path)
+        store.put(key, trace)
+        store._meta_path(key).write_text("{not json")
+        assert store.get(key) is None
+
+    def test_no_tmp_files_survive_a_put(self, tmp_path):
+        key, trace = make_trace_and_key()
+        TraceStore(tmp_path).put(key, trace)
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_concurrent_writers_one_key(self, tmp_path):
+        """Content addressing makes same-key races benign: whoever wins
+        the rename, the bytes are identical and the entry stays valid."""
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            totals = list(
+                pool.map(_concurrent_writer, [str(tmp_path)] * 4, range(4))
+            )
+        key, trace = make_trace_and_key()
+        assert totals == [trace.total_accesses] * 4
+        assert_traces_identical(TraceStore(tmp_path).get(key), trace)
+
+
+class TestKeys:
+    def test_key_is_deterministic(self):
+        a = trace_key(SPEC, make_mem(), 2, 5_000, 0)
+        b = trace_key(SPEC, make_mem(), 2, 5_000, 0)
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_cores": 4},
+            {"max_accesses_per_core": 6_000},
+            {"seed": 1},
+            {"per_core_streams": True},
+        ],
+    )
+    def test_key_covers_every_generation_input(self, kwargs):
+        base = dict(
+            num_cores=2, max_accesses_per_core=5_000, seed=0,
+            per_core_streams=False,
+        )
+        assert trace_key(SPEC, make_mem(), **base) != trace_key(
+            SPEC, make_mem(), **{**base, **kwargs}
+        )
+
+    def test_version_bump_invalidates_keys(self, monkeypatch):
+        before = trace_key(SPEC, make_mem(), 2, 5_000, 0)
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        after = trace_key(SPEC, make_mem(), 2, 5_000, 0)
+        assert before != after
+
+
+class TestResolve:
+    def test_off_disables(self, tmp_path):
+        assert resolve_trace_store("off", tmp_path) is None
+        assert resolve_trace_store(False, tmp_path) is None
+
+    def test_default_derives_from_cache_dir(self, tmp_path):
+        store = resolve_trace_store(None, tmp_path)
+        assert store is not None
+        assert store.root == tmp_path / "traces"
+
+    def test_no_cache_dir_means_no_store(self):
+        assert resolve_trace_store(None, None) is None
+
+    def test_explicit_path_and_passthrough(self, tmp_path):
+        store = resolve_trace_store(tmp_path / "t", None)
+        assert store.root == tmp_path / "t"
+        assert resolve_trace_store(store, None) is store
+
+
+class TestSweepIntegration:
+    @pytest.fixture(scope="class")
+    def sweep_spec(self):
+        from repro.common.config import SystemConfig
+        from repro.designs import AVR, BASELINE
+        from repro.harness.sweep import SweepSpec
+
+        return SweepSpec(
+            workloads=("heat",),
+            designs=(BASELINE, AVR),
+            config=SystemConfig.scaled(num_cores=2),
+            scales=(0.15,),
+            max_accesses_per_core=2_000,
+        )
+
+    def test_cleared_result_cache_maps_stored_trace(self, sweep_spec, tmp_path):
+        from repro.designs import AVR
+        from repro.harness.sweep import run_sweep
+
+        cold = run_sweep(sweep_spec, cache_dir=tmp_path)
+        assert cold.stats.traces_generated == 1
+        assert cold.stats.traces_mapped == 0
+        assert (tmp_path / "traces").is_dir()
+
+        # Clear the result cache; keep the trace store.
+        for entry in tmp_path.glob("*/*.pkl"):
+            entry.unlink()
+
+        warm = run_sweep(sweep_spec, cache_dir=tmp_path)
+        assert warm.stats.traces_generated == 0
+        assert warm.stats.traces_mapped >= 1
+        assert warm.stats.executed > 0  # jobs re-ran, trace did not
+        cold_run = cold.by_workload()["heat"].runs[AVR]
+        warm_run = warm.by_workload()["heat"].runs[AVR]
+        assert warm_run.timing.cycles == cold_run.timing.cycles
+        assert warm_run.timing.total_bytes == cold_run.timing.total_bytes
+
+        # Fully warm: every job cache-served, the trace never touched.
+        cached = run_sweep(sweep_spec, cache_dir=tmp_path)
+        assert cached.stats.executed == 0
+        assert cached.stats.traces_generated == 0
+        assert cached.stats.traces_mapped == 0
+
+    def test_store_off_skips_the_trace_dir(self, sweep_spec, tmp_path):
+        from repro.harness.sweep import run_sweep
+
+        result = run_sweep(sweep_spec, cache_dir=tmp_path, trace_store="off")
+        assert result.stats.traces_generated == 0
+        assert result.stats.traces_mapped == 0
+        assert not (tmp_path / "traces").exists()
