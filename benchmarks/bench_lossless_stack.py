@@ -7,7 +7,6 @@ Not a paper artifact; quantifies the orthogonality claim.
 """
 
 import numpy as np
-import pytest
 
 from repro.common.constants import VALUES_PER_BLOCK
 from repro.common.types import Design

@@ -29,17 +29,19 @@ Public API highlights:
 * :mod:`repro.trace` — vectorized trace synthesis (bit-identical to
   the reference fragment loop) and the content-keyed, memory-mapped
   :class:`repro.trace.TraceStore` that warm sweeps map traces from.
+* :mod:`repro.analysis` — the ``repro check`` static analysis pass:
+  repo invariants (RNG discipline, kernel dtypes, cache-key
+  completeness, picklable hooks, engine parity, docstrings) as
+  registrable AST rules, gating CI.
 """
 
 from .common import Design, ErrorThresholds, SystemConfig
 from .compression import AVRCompressor
 
-# 1.6.0: vectorized trace synthesis + the memory-mapped trace store.
-# budget_iterations now matches the generated per-core access count
-# exactly (ceil instead of floor on partial stride tails), which can
-# change traces for stride-unaligned specs, so the bump invalidates
-# every on-disk sweep-cache and trace-store entry.
-__version__ = "1.6.0"
+# 1.7.0: repo-invariant static analysis pass (``repro check``) +
+# strict typing gate.  No simulation semantics changed; the bump marks
+# the typed (py.typed) API surface.
+__version__ = "1.7.0"
 
 #: sweep-engine names re-exported lazily so ``import repro`` stays
 #: lightweight (the harness pulls in every simulator module).
@@ -85,7 +87,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _SWEEP_EXPORTS:
         from .harness import sweep
 

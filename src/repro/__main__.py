@@ -10,6 +10,7 @@ Commands:
 * ``designs``    — list the registered design points
 * ``ablate``     — run the LLC / compressor ablation studies
 * ``overheads``  — print the §4.2 hardware-overhead accounting
+* ``check``      — run the repo-invariant static analysis pass
 
 ``--designs`` / ``--design`` options accept any registered design name
 (see ``python -m repro designs``); unknown names fail with close-match
@@ -29,10 +30,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
 
 from .common.config import SystemConfig
 from .designs import get_design, list_designs, resolve_designs
-from .system.simulator import ENGINES
 from .harness import (
     evaluate_all,
     evaluate_workload,
@@ -48,7 +49,14 @@ from .harness import (
     table3_output_error,
     table4_compression,
 )
+from .system.simulator import ENGINES
 from .workloads import WORKLOADS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Sequence
+
+    from .designs import DesignSpec
+    from .harness.runner import WorkloadEvaluation
 
 
 def _positive_int(text: str) -> int:
@@ -58,7 +66,11 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _parse_designs(names, default, ensure_baseline=False):
+def _parse_designs(
+    names: "Sequence[str] | None",
+    default: "tuple[DesignSpec, ...]",
+    ensure_baseline: bool = False,
+) -> "tuple[DesignSpec, ...]":
     """Resolve CLI design names through the registry.
 
     Unknown names surface :func:`repro.designs.get_design`'s
@@ -99,7 +111,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "--cache-dir is set, 'off' disables it")
 
 
-def _print_evaluations(evals) -> None:
+def _print_evaluations(evals: "dict[str, WorkloadEvaluation]") -> None:
     from .harness.experiments import compared_designs
 
     order = list(evals)
@@ -124,6 +136,7 @@ def _print_evaluations(evals) -> None:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Run the headline sweep: every design over every workload."""
     from .harness import ALL_DESIGNS
 
     config = SystemConfig.scaled(num_cores=args.cores or 8)
@@ -144,6 +157,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_workload(args: argparse.Namespace) -> int:
+    """Sweep one workload across designs and approximation levels."""
     from .harness import ALL_DESIGNS
 
     config = SystemConfig.scaled(num_cores=args.cores or 8)
@@ -178,6 +192,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 
 def cmd_scenario(args: argparse.Namespace) -> int:
+    """Evaluate a named multi-programmed scenario mix."""
     from .harness.scenario import evaluate_scenario
     from .scenario import get_scenario, named_scenarios
 
@@ -258,6 +273,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def cmd_ablate(args: argparse.Namespace) -> int:
+    """Run the ablation sweep for one design's variants."""
     config = SystemConfig.scaled(num_cores=args.cores or 8)
     try:
         design = get_design(args.design)
@@ -295,6 +311,7 @@ def cmd_ablate(args: argparse.Namespace) -> int:
 
 
 def cmd_designs(_args: argparse.Namespace) -> int:
+    """List the registered cache designs."""
     from .designs import get_design
 
     print("registered designs:")
@@ -307,6 +324,7 @@ def cmd_designs(_args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run a declarative experiment from a spec file."""
     from .experiment import ExperimentSpec, run_experiment
 
     try:
@@ -367,6 +385,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_overheads(_args: argparse.Namespace) -> int:
+    """Print the AVR hardware-overhead model (paper \u00a74.2)."""
     o = hardware_overheads()
     print("AVR hardware overheads (paper §4.2):")
     print(f"  CMT + TLB bits per page:    {o['cmt_bits_per_page']:.0f}")
@@ -378,6 +397,7 @@ def cmd_overheads(_args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="AVR (ICPP 2019) reproduction toolkit",
@@ -451,6 +471,18 @@ def main(argv: list[str] | None = None) -> int:
 
     p_ov = sub.add_parser("overheads", help="print §4.2 hardware overheads")
     p_ov.set_defaults(func=cmd_overheads)
+
+    p_ck = sub.add_parser(
+        "check",
+        help="run the repo-invariant static analysis pass",
+        description="AST-level checks of the repository's correctness "
+                    "conventions: RNG/dtype discipline, cache-key "
+                    "completeness, picklable job units, engine parity "
+                    "and docstring coverage.  Exit 1 on findings.",
+    )
+    from .analysis.cli import add_check_arguments, cmd_check
+    add_check_arguments(p_ck)
+    p_ck.set_defaults(func=cmd_check)
 
     args = parser.parse_args(argv)
     return args.func(args)

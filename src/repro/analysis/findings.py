@@ -1,0 +1,42 @@
+"""Findings: what a static-analysis rule reports.
+
+A :class:`Finding` is one violation at one source location, carrying
+the rule id, a human-readable message and (usually) a fix hint.  The
+rendered form follows the conventional ``path:line:col: ID message``
+layout so editors and CI annotations can parse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    #: rule identifier (e.g. ``"RNG001"``)
+    rule: str
+    #: path of the offending file, as given to the checker
+    path: str
+    #: 1-based source line of the offending node
+    line: int
+    #: 0-based column of the offending node
+    col: int
+    #: what is wrong, in one sentence
+    message: str
+    #: how to fix it (may be empty)
+    hint: str = field(default="", compare=False)
+
+    def render(self) -> str:
+        """``path:line:col: RULE message  [hint]`` display form."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"  [hint: {self.hint}]"
+        return text
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        """Stable ordering: by file, then position, then rule id."""
+        return (self.path, self.line, self.col, self.rule)

@@ -1,0 +1,90 @@
+"""Rule registry: analysis rules as registrable, documented values.
+
+Mirrors the :mod:`repro.designs` registry idiom — a rule is a class
+with an ``id``, a one-line ``summary`` and a ``doc`` paragraph,
+registered by decorating it with :func:`register_rule`; ``repro check
+--list-rules`` renders the catalogue straight from the registry, so a
+new rule is one decorated class and nothing else.
+"""
+
+from __future__ import annotations
+
+import abc
+from difflib import get_close_matches
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .findings import Finding
+    from .project import Project, SourceModule
+
+__all__ = ["Rule", "all_rules", "get_rule", "register_rule", "resolve_rules"]
+
+
+class Rule(abc.ABC):
+    """One static check: inspects a module, yields findings.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    Rules are stateless — one instance is created per ``run_check``
+    call and visits every module, with the shared :class:`Project`
+    carrying any cross-module context.
+    """
+
+    #: stable identifier, ``<AREA><NNN>`` (e.g. ``"RNG001"``)
+    id: ClassVar[str]
+    #: short kebab-case name (e.g. ``"rng-discipline"``)
+    name: ClassVar[str]
+    #: one-line summary shown by ``--list-rules``
+    summary: ClassVar[str]
+    #: default fix hint attached to findings (rules may override per site)
+    hint: ClassVar[str] = ""
+
+    @abc.abstractmethod
+    def check(
+        self, module: "SourceModule", project: "Project"
+    ) -> Iterator["Finding"]:
+        """Yield every violation of this rule in ``module``."""
+
+
+_RULES: dict[str, type[Rule]] = {}
+
+R = TypeVar("R", bound=type[Rule])
+
+
+def register_rule(cls: R) -> R:
+    """Class decorator adding a rule to the registry.
+
+    Re-registering the same class is a no-op (module re-imports stay
+    idempotent); registering a different class under a taken id is an
+    error.
+    """
+    existing = _RULES.get(cls.id)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"rule id {cls.id!r} is already registered")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def all_rules() -> tuple[type[Rule], ...]:
+    """Every registered rule class, in registration (catalogue) order."""
+    return tuple(_RULES.values())
+
+
+def get_rule(rule_id: str) -> type[Rule]:
+    """Resolve a rule id (or kebab-case name), with suggestions."""
+    wanted = rule_id.strip()
+    for cls in _RULES.values():
+        if wanted.upper() == cls.id or wanted.lower() == cls.name:
+            return cls
+    known = [cls.id for cls in _RULES.values()]
+    close = get_close_matches(wanted.upper(), known, n=3, cutoff=0.4)
+    hint = f"; did you mean {', '.join(close)}?" if close else ""
+    raise ValueError(
+        f"unknown rule {rule_id!r}{hint} known rules: {', '.join(known)}"
+    )
+
+
+def resolve_rules(selection: Iterable[str] | None) -> tuple[type[Rule], ...]:
+    """Resolve a ``--select`` list (None: every registered rule)."""
+    if selection is None:
+        return all_rules()
+    return tuple(get_rule(r) for r in selection)

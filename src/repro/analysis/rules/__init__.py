@@ -1,0 +1,12 @@
+"""Shipped analysis rules.
+
+Importing this package registers every built-in rule with the
+:mod:`repro.analysis.registry`; the catalogue order below is the
+order ``repro check --list-rules`` displays.
+"""
+
+from __future__ import annotations
+
+from . import cachekey, docstrings, dtype, parity, picklable, rng
+
+__all__ = ["cachekey", "docstrings", "dtype", "parity", "picklable", "rng"]

@@ -1,0 +1,94 @@
+"""DOC001 — docstring coverage for exported names.
+
+The package's public surface is its documentation of record: the
+architecture docs link into module docstrings, and the CLI/registry
+help strings render from them.  This rule requires a docstring on
+
+* every module,
+* every public top-level class and function — the names listed in
+  ``__all__`` when the module defines one, otherwise every top-level
+  definition whose name does not start with an underscore.
+
+Private helpers (single leading underscore) are exempt, as are
+nested definitions and methods (class docstrings are expected to
+document the object's surface).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..project import Project, SourceModule
+from ..registry import Rule, register_rule
+
+__all__ = ["PublicDocstrings"]
+
+
+def _declared_all(tree: ast.Module) -> set[str] | None:
+    """Names listed in a module-level ``__all__``, if statically given."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    return {
+                        elt.value
+                        for elt in value.elts
+                        if isinstance(elt, ast.Constant)
+                        and isinstance(elt.value, str)
+                    }
+    return None
+
+
+@register_rule
+class PublicDocstrings(Rule):
+    """Flag exported modules/classes/functions without docstrings."""
+
+    id = "DOC001"
+    name = "public-docstrings"
+    summary = (
+        "modules and exported top-level classes/functions (__all__, "
+        "else every public name) must carry docstrings"
+    )
+    hint = "add a docstring (or underscore-prefix a private helper)"
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if ast.get_docstring(module.tree) is None:
+            yield Finding(
+                rule=self.id,
+                path=module.display,
+                line=1,
+                col=0,
+                message="module has no docstring",
+                hint=self.hint,
+            )
+        exported = _declared_all(module.tree)
+        for node in module.tree.body:
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if exported is not None:
+                if node.name not in exported:
+                    continue
+            elif node.name.startswith("_"):
+                continue
+            if ast.get_docstring(node) is None:
+                kind = "class" if isinstance(node, ast.ClassDef) else "function"
+                yield Finding(
+                    rule=self.id,
+                    path=module.display,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=f"exported {kind} {node.name} has no docstring",
+                    hint=self.hint,
+                )

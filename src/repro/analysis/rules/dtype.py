@@ -1,0 +1,81 @@
+"""DTY001 — explicit dtypes in kernel allocations.
+
+``np.arange(n)`` is int64 on Linux and int32 on Windows: any array
+that feeds address arithmetic, trace records or cache-state matrices
+silently changes width (and overflow behaviour) with the platform's
+default int.  The repository's bit-identity guarantees — reference ↔
+vectorized engine equivalence, content-keyed trace stores — only hold
+when every allocation in the kernel sub-packages (``trace/``,
+``cache/``, ``system/``) pins its dtype explicitly.
+
+The rule flags ``np.arange`` / ``np.empty`` / ``np.zeros`` /
+``np.ones`` / ``np.full`` / ``np.array`` calls without a ``dtype=``
+keyword in those sub-packages.  ``*_like`` constructors inherit their
+prototype's dtype and are exempt.  A call whose platform-default dtype
+is genuinely intended documents it with ``# repro: ignore[DTY001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..project import Project, SourceModule, dotted_name
+from ..registry import Rule, register_rule
+
+__all__ = ["DtypeDiscipline"]
+
+#: numpy constructors whose dtype floats with the platform default,
+#: mapped to the 0-based positional index their dtype argument takes
+_CONSTRUCTORS = {
+    "numpy.arange": 3,  # arange(start, stop, step, dtype)
+    "numpy.empty": 1,
+    "numpy.zeros": 1,
+    "numpy.ones": 1,
+    "numpy.full": 2,  # full(shape, fill_value, dtype)
+    "numpy.array": 1,
+}
+
+
+@register_rule
+class DtypeDiscipline(Rule):
+    """Flag dtype-less numpy allocations in the kernel sub-packages."""
+
+    id = "DTY001"
+    name = "dtype-discipline"
+    summary = (
+        "np.arange/empty/zeros/ones/full/array in trace/, cache/ and "
+        "system/ must pin dtype= — platform-default int width breaks "
+        "bit-identity"
+    )
+    hint = "pass an explicit dtype (np.int64 for addresses and indexes)"
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        if not module.in_kernel_subpackage:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = dotted_name(node.func, module.imports)
+            if resolved not in _CONSTRUCTORS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if len(node.args) > _CONSTRUCTORS[resolved]:
+                continue  # dtype passed positionally
+            tail = resolved.removeprefix("numpy.")
+            yield Finding(
+                rule=self.id,
+                path=module.display,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"np.{tail}(...) without an explicit dtype in a "
+                    "kernel module: the platform default int decides "
+                    "the array's width"
+                ),
+                hint=self.hint,
+            )

@@ -1,0 +1,100 @@
+"""PAR001 — engine parity for batched replay paths.
+
+Every vectorized fast path in this repository is licensed by a
+retained reference implementation and a differential test pinning the
+two bit-identical (the PR 2 timing engine, the PR 3 AVR replay, the
+PR 6 trace generator all ship that way).  The convention is easy to
+erode: a new ``replay_batch`` without a scalar counterpart, or without
+a differential test, compiles and runs — it just stops being
+*verifiable*.
+
+This rule checks every class that defines a ``replay_batch`` method:
+
+* the class must also define a per-event reference path (``read``,
+  ``access``, ``replay`` or ``memory_event``) that the batch path can
+  be diffed against,
+* the class name must appear in at least one differential test module
+  (a ``tests/test_*equivalence*.py`` file), so the parity is actually
+  exercised.
+
+The test-presence check needs the test tree; when the checker runs
+without one (``repro check --tests none``), only the structural check
+applies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..project import Project, SourceModule
+from ..registry import Rule, register_rule
+
+__all__ = ["EngineParity"]
+
+#: method names that count as the scalar reference path
+#: (``memory_event`` is the interval core's per-access twin)
+_REFERENCE_METHODS = ("read", "access", "replay", "memory_event")
+
+
+@register_rule
+class EngineParity(Rule):
+    """Flag batched replay paths without a verified reference twin."""
+
+    id = "PAR001"
+    name = "engine-parity"
+    summary = (
+        "every class defining replay_batch must keep a scalar "
+        "reference path (read/access/replay) and appear in a "
+        "differential (equivalence) test module"
+    )
+    hint = (
+        "retain the per-event path and pin bit-identity in "
+        "tests/test_*equivalence*.py"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "replay_batch" not in methods:
+                continue
+            if not methods.intersection(_REFERENCE_METHODS):
+                yield Finding(
+                    rule=self.id,
+                    path=module.display,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"class {node.name} defines replay_batch but no "
+                        "scalar reference path "
+                        f"({'/'.join(_REFERENCE_METHODS)}) to diff it "
+                        "against"
+                    ),
+                    hint=self.hint,
+                )
+            if (
+                project.test_text is not None
+                and node.name not in project.test_text
+            ):
+                tests = ", ".join(project.test_files) or "<none found>"
+                yield Finding(
+                    rule=self.id,
+                    path=module.display,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"class {node.name} defines replay_batch but "
+                        "appears in no differential test module "
+                        f"(searched: {tests})"
+                    ),
+                    hint=self.hint,
+                )

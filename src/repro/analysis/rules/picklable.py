@@ -1,0 +1,118 @@
+"""PKL001 — job units and registry hooks must pickle.
+
+The sweep engine fans job units out over a
+``ProcessPoolExecutor``; everything submitted to the pool — job
+functions, their arguments, and the ``DesignSpec.builder`` hooks
+carried inside specs — crosses a process boundary by pickling.
+Lambdas and functions defined inside another function do not pickle,
+and the failure surfaces only when a sweep first runs with ``jobs>1``
+(often in CI, long after the code merged).  This rule catches the two
+patterns statically:
+
+* a ``builder=`` keyword argument (the ``DesignSpec`` /
+  ``register_design`` hook seam) bound to a lambda or to a function
+  defined in a local scope,
+* a lambda submitted directly to an executor (``pool.submit(lambda:
+  ...)``) or wrapped in ``functools.partial``.
+
+Module-level functions (and ``functools.partial`` over them) pickle
+fine and never fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..project import Project, SourceModule, dotted_name
+from ..registry import Rule, register_rule
+
+__all__ = ["PicklableHooks"]
+
+
+def _local_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside another function's body."""
+    local: set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for inner in ast.walk(outer):
+            if inner is outer:
+                continue
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local.add(inner.name)
+    return local
+
+
+@register_rule
+class PicklableHooks(Rule):
+    """Flag unpicklable callables bound to job-unit/builder seams."""
+
+    id = "PKL001"
+    name = "picklable-hooks"
+    summary = (
+        "no lambdas or local functions as builder= hooks or executor "
+        "submissions — job units must pickle into pool workers"
+    )
+    hint = "define the callable at module level so it pickles"
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        local_fns = _local_function_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_builder_kwargs(node, module, local_fns)
+            yield from self._check_submissions(node, module)
+
+    def _check_builder_kwargs(
+        self, node: ast.Call, module: SourceModule, local_fns: set[str]
+    ) -> Iterator[Finding]:
+        for kw in node.keywords:
+            if kw.arg != "builder":
+                continue
+            if isinstance(kw.value, ast.Lambda):
+                what = "a lambda"
+            elif isinstance(kw.value, ast.Name) and kw.value.id in local_fns:
+                what = f"local function {kw.value.id!r}"
+            else:
+                continue
+            yield Finding(
+                rule=self.id,
+                path=module.display,
+                line=kw.value.lineno,
+                col=kw.value.col_offset,
+                message=(
+                    f"builder hook bound to {what}: it cannot pickle "
+                    "into sweep worker processes"
+                ),
+                hint=self.hint,
+            )
+
+    def _check_submissions(
+        self, node: ast.Call, module: SourceModule
+    ) -> Iterator[Finding]:
+        func = node.func
+        is_submit = isinstance(func, ast.Attribute) and func.attr in (
+            "submit",
+            "map",
+        )
+        is_partial = dotted_name(func, module.imports) == "functools.partial"
+        if not (is_submit or is_partial) or not node.args:
+            return
+        first = node.args[0]
+        if isinstance(first, ast.Lambda):
+            seam = "functools.partial" if is_partial else "executor submission"
+            yield Finding(
+                rule=self.id,
+                path=module.display,
+                line=first.lineno,
+                col=first.col_offset,
+                message=(
+                    f"lambda passed to {seam}: it cannot pickle into "
+                    "sweep worker processes"
+                ),
+                hint=self.hint,
+            )

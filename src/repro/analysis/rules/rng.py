@@ -1,0 +1,126 @@
+"""RNG001 — RNG and wall-clock discipline.
+
+Every result in this repository is a pure function of its spec:
+content-hash cache keys, differential reference↔vectorized tests and
+cross-process sweep reassembly all assume that re-running a job
+reproduces it bit-identically.  One unseeded generator or wall-clock
+read silently breaks that contract, so this rule flags:
+
+* ``np.random.default_rng()`` called without a seed,
+* the legacy global-state ``np.random.*`` sampling API
+  (``np.random.seed`` / ``rand`` / ``randint`` / ...),
+* the stdlib ``random`` module's functions,
+* wall-clock reads (``time.time``, ``time.perf_counter``,
+  ``datetime.now``, ...).
+
+Seeded construction (``np.random.default_rng(seed)``,
+``SeedSequence(seed).spawn(...)``) is the sanctioned pattern and never
+fires.  Benchmarks live outside ``src/repro`` and may time things;
+inside the package, a deliberate exception takes an inline
+``# repro: ignore[RNG001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..project import Project, SourceModule, dotted_name
+from ..registry import Rule, register_rule
+
+__all__ = ["RngDiscipline"]
+
+#: numpy.random attributes that are part of the seeded-Generator API
+#: (everything else on numpy.random is the legacy global-state surface)
+_SANCTIONED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: wall-clock calls that make results depend on when they ran
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register_rule
+class RngDiscipline(Rule):
+    """Flag unseeded RNG construction, legacy RNG APIs and wall-clock reads."""
+
+    id = "RNG001"
+    name = "rng-discipline"
+    summary = (
+        "no unseeded default_rng(), legacy np.random.* / random.* "
+        "calls, or wall-clock reads — determinism backs cache keys "
+        "and differential tests"
+    )
+    hint = "derive randomness from the spec seed via np.random.SeedSequence"
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = dotted_name(node.func, module.imports)
+            if resolved is None:
+                continue
+            message = self._violation(resolved, node)
+            if message is not None:
+                yield Finding(
+                    rule=self.id,
+                    path=module.display,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=message,
+                    hint=self.hint,
+                )
+
+    def _violation(self, resolved: str, node: ast.Call) -> str | None:
+        if resolved == "numpy.random.default_rng":
+            if not node.args and not node.keywords:
+                return (
+                    "np.random.default_rng() without a seed: results "
+                    "become irreproducible and cache keys meaningless"
+                )
+            return None
+        if resolved.startswith("numpy.random."):
+            tail = resolved.removeprefix("numpy.random.")
+            if tail not in _SANCTIONED_NP_RANDOM:
+                return (
+                    f"legacy global-state numpy RNG call np.random.{tail}(); "
+                    "use an explicitly seeded np.random.Generator"
+                )
+            return None
+        if resolved.startswith("random."):
+            tail = resolved.removeprefix("random.")
+            if "." not in tail:
+                return (
+                    f"stdlib random.{tail}() draws from hidden global "
+                    "state; use an explicitly seeded np.random.Generator"
+                )
+            return None
+        if resolved in _WALL_CLOCK:
+            return (
+                f"wall-clock call {resolved}() makes results depend on "
+                "when they ran"
+            )
+        return None

@@ -15,6 +15,7 @@ the timing simulator agree on which addresses are approximable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -30,9 +31,12 @@ from .approximators import (
 )
 from .region import Region, padded_pages
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..designs import DesignLike
+
 
 def approximator_for(
-    design,
+    design: "DesignLike",
     thresholds: ErrorThresholds | None = None,
     check_mode: str = "hybrid",
     dganger_threshold: float = 0.02,

@@ -121,7 +121,9 @@ class BatchedLRUMatrix:
         by_round = np.argsort(rank, kind="stable")
         op_ids = order[by_round]
         rounds = int(rank[by_round[-1]]) + 1
-        bounds = np.searchsorted(rank[by_round], np.arange(rounds + 1))
+        bounds = np.searchsorted(
+            rank[by_round], np.arange(rounds + 1, dtype=np.int64)
+        )
 
         tags, ages = self.tags, self.ages
         # flat views: gather/scatter through one computed index instead

@@ -518,7 +518,9 @@ class AVRLLC:
     # ------------------------------------------------------------------
     # batched fast replay (the vectorized timing engine's AVR path)
     # ------------------------------------------------------------------
-    def _decode_stream(self, addrs: np.ndarray):
+    def _decode_stream(
+        self, addrs: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """One numpy pass over the event stream's stateless attributes."""
         line_no = addrs // CACHELINE_BYTES
         block_no = addrs // BLOCK_BYTES
@@ -659,10 +661,23 @@ class AVRLLC:
         return lat_arr
 
     def _scan(
-        self, L_rd, L_line, L_dline, L_set, L_apx, L_size, L_bit, L_k0d,
-        L_hascms, L_refresh, L_run_end, real_blocks, size_by_bid,
-        approx_by_bid, lat,
-    ):
+        self,
+        L_rd: list[bool],
+        L_line: list[int],
+        L_dline: list[int],
+        L_set: list[int],
+        L_apx: list[bool],
+        L_size: list[int],
+        L_bit: list[int],
+        L_k0d: list[int],
+        L_hascms: list[bool],
+        L_refresh: list[bool],
+        L_run_end: list[int],
+        real_blocks: list[int],
+        size_by_bid: list[int],
+        approx_by_bid: list[bool] | None,
+        lat: list[int],
+    ) -> tuple[list[int], list[int]]:
         """The event scan: cache-state machine over the decoded stream.
 
         Everything here is per-event Python, so the flows are written
@@ -734,10 +749,14 @@ class AVRLLC:
         # these run half a million times per trace.
 
         def cmt_consult(
-            block, default_size,
-            cmt_entries=cmt_entries, cmt_cache=cmt_cache,
-            cmt_capacity=cmt_capacity, emit=emit, partial_word=partial_word,
-        ):
+            block: int,
+            default_size: int,
+            cmt_entries: dict[int, CMTEntry] = cmt_entries,
+            cmt_cache: dict[int, None] = cmt_cache,
+            cmt_capacity: int = cmt_capacity,
+            emit: Callable[[int], None] = emit,
+            partial_word: int = partial_word,
+        ) -> CMTEntry:
             # inlined CMT.lookup_block over the shared CMT dicts (the
             # scan calls this on every approximate miss and eviction)
             nonlocal cmt_hits, cmt_misses
@@ -760,10 +779,16 @@ class AVRLLC:
             return entry
 
         def evict_compressed_block(
-            k0, first_dirty,
-            tags=tags, dirty=dirty, ages=ages, cms_slot=cms_slot,
-            size_by_bid=size_by_bid, real_blocks=real_blocks, emit=emit,
-        ):
+            k0: int,
+            first_dirty: bool,
+            tags: list[int] = tags,
+            dirty: list[bool] = dirty,
+            ages: list[int] = ages,
+            cms_slot: list[int] = cms_slot,
+            size_by_bid: list[int] = size_by_bid,
+            real_blocks: list[int] = real_blocks,
+            emit: Callable[[int], None] = emit,
+        ) -> None:
             nonlocal st_decomp, st_comp, st_cms_evict, bytes_approx
             size = size_by_bid[k0 >> 4]
             group_dirty = first_dirty
@@ -790,10 +815,14 @@ class AVRLLC:
             st_cms_evict += 1
 
         def evict_dirty_approx_ucl(
-            dline,
-            dirty=dirty, ages=ages, cms_slot=cms_slot,
-            size_by_bid=size_by_bid, real_blocks=real_blocks, emit=emit,
-        ):
+            dline: int,
+            dirty: list[bool] = dirty,
+            ages: list[int] = ages,
+            cms_slot: list[int] = cms_slot,
+            size_by_bid: list[int] = size_by_bid,
+            real_blocks: list[int] = real_blocks,
+            emit: Callable[[int], None] = emit,
+        ) -> None:
             nonlocal st_recomp, st_decomp, st_comp, st_lazy
             nonlocal st_fetch_recomp, st_unc_wb, bytes_approx, clock
             bid = dline >> 4
@@ -880,10 +909,14 @@ class AVRLLC:
             emit((block << 4 | (dline & 15)) << 13 | 6)
 
         def dispatch_victim(
-            victim, slot,
-            dirty=dirty, ucl_slot=ucl_slot, cms_slot=cms_slot,
-            real_blocks=real_blocks, emit=emit,
-        ):
+            victim: int,
+            slot: int,
+            dirty: list[bool] = dirty,
+            ucl_slot: list[int] = ucl_slot,
+            cms_slot: list[int] = cms_slot,
+            real_blocks: list[int] = real_blocks,
+            emit: Callable[[int], None] = emit,
+        ) -> None:
             # _handle_victim for the fast path: clean UCL victims vanish
             # for free, everything else runs its Figure 8 flow.  Only
             # reached on an actual eviction, so it is off the per-event
@@ -912,10 +945,16 @@ class AVRLLC:
                     st_exact_wb += 1
 
         def alloc_ucl(
-            set_idx, dline, key_dirty,
-            tags=tags, dirty=dirty, ages=ages, W=W, ucl_slot=ucl_slot,
-            dispatch_victim=dispatch_victim,
-        ):
+            set_idx: int,
+            dline: int,
+            key_dirty: bool,
+            tags: list[int] = tags,
+            dirty: list[bool] = dirty,
+            ages: list[int] = ages,
+            W: int = W,
+            ucl_slot: list[int] = ucl_slot,
+            dispatch_victim: Callable[[int, int], None] = dispatch_victim,
+        ) -> None:
             # _insert's allocation path for a UCL.  The victim's slot is
             # only cleared implicitly (overwritten below): the victim
             # flows reach entries exclusively through the slot tables,
@@ -934,10 +973,16 @@ class AVRLLC:
             ucl_slot[dline] = slot
 
         def alloc_cms(
-            set_idx, idx, key_dirty,
-            tags=tags, dirty=dirty, ages=ages, W=W, cms_slot=cms_slot,
-            dispatch_victim=dispatch_victim,
-        ):
+            set_idx: int,
+            idx: int,
+            key_dirty: bool,
+            tags: list[int] = tags,
+            dirty: list[bool] = dirty,
+            ages: list[int] = ages,
+            W: int = W,
+            cms_slot: list[int] = cms_slot,
+            dispatch_victim: Callable[[int, int], None] = dispatch_victim,
+        ) -> None:
             # as alloc_ucl, but the incoming entry is the CMS at dense
             # index `idx` (tagged negative so victim dispatch can tell)
             nonlocal clock
@@ -954,10 +999,15 @@ class AVRLLC:
             cms_slot[idx] = slot
 
         def load_dbuf(
-            k0, load_bit,
-            ages=ages, ucl_slot=ucl_slot, real_blocks=real_blocks,
-            S=S, pfe_thr=pfe_thr, alloc_ucl=alloc_ucl,
-        ):
+            k0: int,
+            load_bit: int,
+            ages: list[int] = ages,
+            ucl_slot: list[int] = ucl_slot,
+            real_blocks: list[int] = real_blocks,
+            S: int = S,
+            pfe_thr: int | None = pfe_thr,
+            alloc_ucl: Callable[[int, int, bool], None] = alloc_ucl,
+        ) -> None:
             nonlocal dbuf_k0d, dbuf_req, dbuf_in, dbuf_loads, st_pfe, clock
             if (
                 pfe_thr is not None

@@ -22,7 +22,7 @@ from ..common import bitops
 from ..common.constants import BLOCK_CACHELINES, MAX_COMPRESSED_CACHELINES, VALUES_PER_BLOCK
 from ..common.types import CompressionMethod, DataType, ErrorThresholds
 from ..fixedpoint.bias import BIAS_FIELD_MAX, BIAS_FIELD_MIN, TARGET_MAX_EXPONENT
-from ..fixedpoint.convert import DEFAULT_FORMAT, FixedPointFormat, fixed_to_float
+from ..fixedpoint.convert import DEFAULT_FORMAT, FixedPointFormat
 from .block import CompressedBlock
 from .downsample import downsample_1d, downsample_2d, reconstruct_1d, reconstruct_2d
 from .errors import relative_error

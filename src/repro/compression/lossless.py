@@ -22,10 +22,14 @@ roundtrip property tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..common.constants import CACHELINE_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .compressor import AVRCompressor
 
 #: encoding name -> (base_bytes, delta_bytes); None markers for the
 #: special cases handled separately.
@@ -146,7 +150,9 @@ def compression_ratio(data: bytes | np.ndarray) -> float:
     return sizes.size * CACHELINE_BYTES / float(sizes.sum())
 
 
-def stacked_ratio(blocks: np.ndarray, compressor) -> dict[str, float]:
+def stacked_ratio(
+    blocks: np.ndarray, compressor: "AVRCompressor"
+) -> dict[str, float]:
     """AVR x BDI stacking study over ``(nblocks, 256)`` float32 data.
 
     Returns the AVR-only ratio, the BDI-only ratio (on the raw data),

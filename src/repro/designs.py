@@ -36,11 +36,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
 from difflib import get_close_matches
-from typing import Any, Callable, TYPE_CHECKING
+from typing import Any, Callable, Iterable, TYPE_CHECKING
 
 from .common.types import Design, ErrorThresholds
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from .cache.llc_avr import AVRLLC
+    from .cache.llc_baseline import BaselineLLC
     from .common.config import SystemConfig
     from .memory.dram import DRAM
     from .system.layout import AddressLayout
@@ -296,7 +298,7 @@ class DesignSpec:
     # ------------------------------------------------------------------
     # timing layer
     # ------------------------------------------------------------------
-    def build_llc(self, ctx: LLCBuildContext):
+    def build_llc(self, ctx: LLCBuildContext) -> Any:
         """Construct this design's LLC from the build context.
 
         Custom ``builder`` hooks take over entirely; otherwise the
@@ -326,7 +328,7 @@ class DesignSpec:
             return 1.0 / (1.0 - frac * (1.0 - 1.0 / effective))
         return 1.0
 
-    def _build_baseline_llc(self, ctx: LLCBuildContext):
+    def _build_baseline_llc(self, ctx: LLCBuildContext) -> BaselineLLC:
         from .cache.llc_baseline import BaselineLLC
 
         if self.capacity_model == "none" and self.approx_line_bytes is None:
@@ -341,7 +343,7 @@ class DesignSpec:
             is_approx_batch=ctx.layout.is_approx_batch,
         )
 
-    def _build_avr_llc(self, ctx: LLCBuildContext):
+    def _build_avr_llc(self, ctx: LLCBuildContext) -> AVRLLC:
         import numpy as np
 
         from .cache.llc_avr import AVRLLC
@@ -372,7 +374,7 @@ class DesignSpec:
 
 
 #: anything the design-accepting APIs resolve through :func:`get_design`
-DesignLike = "DesignSpec | Design | str"
+DesignLike = DesignSpec | Design | str
 
 
 # ----------------------------------------------------------------------
@@ -411,7 +413,7 @@ def list_designs() -> tuple[str, ...]:
     return tuple(spec.name for spec in _REGISTRY.values())
 
 
-def get_design(design) -> DesignSpec:
+def get_design(design: DesignLike) -> DesignSpec:
     """Resolve a design reference to its :class:`DesignSpec`.
 
     Accepts a spec (returned as-is, registered or not), a legacy
@@ -444,12 +446,12 @@ def get_design(design) -> DesignSpec:
     )
 
 
-def resolve_designs(designs) -> tuple[DesignSpec, ...]:
+def resolve_designs(designs: Iterable[DesignLike]) -> tuple[DesignSpec, ...]:
     """Resolve a sequence of design references to specs."""
     return tuple(get_design(d) for d in designs)
 
 
-def layout_source_design(design) -> DesignSpec:
+def layout_source_design(design: DesignLike) -> DesignSpec:
     """The design whose functional run measures a design's timing layout.
 
     ``layout_source=None`` means the canonical ``AVR`` reference run
@@ -469,28 +471,28 @@ class DesignMap(dict):
     """
 
     @staticmethod
-    def _key(key):
+    def _key(key: object) -> object:
         try:
             return get_design(key)
         except (TypeError, ValueError, KeyError):
             return key
 
-    def __getitem__(self, key):
+    def __getitem__(self, key: object) -> Any:
         return super().__getitem__(self._key(key))
 
-    def __setitem__(self, key, value) -> None:
+    def __setitem__(self, key: object, value: Any) -> None:
         super().__setitem__(self._key(key), value)
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: object) -> bool:
         return super().__contains__(self._key(key))
 
-    def get(self, key, default=None):
+    def get(self, key: object, default: Any = None) -> Any:
         return super().get(self._key(key), default)
 
-    def pop(self, key, *args):
+    def pop(self, key: object, *args: Any) -> Any:
         return super().pop(self._key(key), *args)
 
-    def setdefault(self, key, default=None):
+    def setdefault(self, key: object, default: Any = None) -> Any:
         return super().setdefault(self._key(key), default)
 
 

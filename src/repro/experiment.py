@@ -31,12 +31,17 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
-from typing import Any
+from typing import Any, TYPE_CHECKING
 
 from .common.config import SystemConfig
 from .common.types import ErrorThresholds
 from .designs import resolve_designs
 from .harness.cache import content_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from .harness.runner import WorkloadEvaluation
+    from .harness.scenario import ScenarioEvaluation
+    from .harness.sweep import SweepSpec
 
 __all__ = ["ExperimentResult", "ExperimentSpec", "run_experiment"]
 
@@ -156,7 +161,7 @@ class ExperimentSpec:
             widths.append(DEFAULT_CORES)
         return max(widths)
 
-    def to_sweep_spec(self):
+    def to_sweep_spec(self) -> SweepSpec:
         """The :class:`~repro.harness.sweep.SweepSpec` this spec runs as.
 
         The decomposition seam that makes spec-driven and programmatic
@@ -263,25 +268,25 @@ class ExperimentResult:
     sweep: Any  # SweepResult (kept loose to avoid import cycles)
 
     @property
-    def stats(self):
+    def stats(self) -> Any:
         """Execution accounting (jobs executed vs served from cache)."""
         return self.sweep.stats
 
-    def by_workload(self):
+    def by_workload(self) -> dict[str, WorkloadEvaluation]:
         """``{workload name: WorkloadEvaluation}`` (singleton grids)."""
         return self.sweep.by_workload()
 
-    def by_scenario(self):
+    def by_scenario(self) -> dict[str, ScenarioEvaluation]:
         """``{scenario name: ScenarioEvaluation}`` (singleton grids)."""
         return self.sweep.by_scenario()
 
     @property
-    def evaluations(self):
+    def evaluations(self) -> Any:
         """Raw per-point evaluations, keyed by sweep point."""
         return self.sweep.evaluations
 
     @property
-    def scenario_evaluations(self):
+    def scenario_evaluations(self) -> Any:
         """Raw per-point scenario evaluations, keyed by scenario point."""
         return self.sweep.scenario_evaluations
 

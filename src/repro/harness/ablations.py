@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,9 +23,10 @@ from ..common.config import SystemConfig
 from ..common.constants import VALUES_PER_BLOCK
 from ..common.types import CompressionMethod
 from ..compression.compressor import AVRCompressor
-from ..designs import AVR, BASELINE, get_design, layout_source_design
 from ..compression.errors import relative_error
+from ..designs import AVR, BASELINE, get_design, layout_source_design
 from ..trace.generator import generate_trace
+from .cache import ResultCache
 from .runner import _build_layout
 from .sweep import (
     SweepPoint,
@@ -37,7 +40,9 @@ from .sweep import (
     run_functional_job,
     run_timing_job,
 )
-from .cache import ResultCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..designs import DesignLike
 
 #: LLC-level ablation variants: label -> AVRLLC keyword overrides.
 #: ``pfe_threshold=None`` genuinely disables the PFE (the paper default
@@ -72,10 +77,10 @@ def run_llc_ablations(
     variants: dict[str, dict] | None = None,
     seed: int = 0,
     jobs: int = 1,
-    cache_dir=None,
+    cache_dir: str | Path | None = None,
     engine: str = "vectorized",
-    design="AVR",
-    **workload_kwargs,
+    design: "DesignLike" = "AVR",
+    **workload_kwargs: object,
 ) -> dict[str, AblationPoint]:
     """Run one AVR-family design under each LLC ablation variant.
 
@@ -173,8 +178,8 @@ def run_compressor_ablations(
     scale: float = 0.5,
     variants: dict[str, dict] | None = None,
     seed: int = 0,
-    cache_dir=None,
-    **workload_kwargs,
+    cache_dir: str | Path | None = None,
+    **workload_kwargs: object,
 ) -> dict[str, dict[str, float]]:
     """Compression ratio / mean error per compressor variant, measured
     on the workload's real (baseline-run) approximable data.

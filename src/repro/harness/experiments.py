@@ -8,6 +8,8 @@ columns are appended where the paper plots them.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from ..common.config import SystemConfig
@@ -18,7 +20,6 @@ from ..common.constants import (
 )
 from ..common.types import EvictionOutcome, LLCRequestOutcome
 from ..designs import AVR, BASELINE
-from ..energy.model import COMPONENTS
 from .runner import WorkloadEvaluation
 
 GEOMEAN = "Geom. Mean"
@@ -104,7 +105,7 @@ def regenerate_all(
     seed: int = 0,
     max_accesses_per_core: int = 50_000,
     jobs: int = 1,
-    cache_dir=None,
+    cache_dir: str | Path | None = None,
 ) -> dict[str, object]:
     """Regenerate every paper artifact in one call.
 
@@ -179,12 +180,12 @@ def table4_compression(
 # ----------------------------------------------------------------------
 # Figures 9-13 (normalized bar charts)
 # ----------------------------------------------------------------------
-def fig09_execution_time(evals) -> dict[str, dict[str, float]]:
+def fig09_execution_time(evals: dict[str, WorkloadEvaluation]) -> dict[str, dict[str, float]]:
     """Figure 9: total execution time, normalized to baseline."""
     return _normalized_metric(evals, "time")
 
 
-def fig10_energy(evals) -> dict[str, dict[str, dict[str, float]]]:
+def fig10_energy(evals: dict[str, WorkloadEvaluation]) -> dict[str, dict[str, dict[str, float]]]:
     """Figure 10: energy breakdown per component, normalized to the
     baseline's *total* energy (so stacked bars compare directly)."""
     out: dict[str, dict[str, dict[str, float]]] = {}
@@ -208,7 +209,7 @@ def fig10_energy(evals) -> dict[str, dict[str, dict[str, float]]]:
     return out
 
 
-def fig11_memory_traffic(evals) -> dict[str, dict[str, dict[str, float]]]:
+def fig11_memory_traffic(evals: dict[str, WorkloadEvaluation]) -> dict[str, dict[str, dict[str, float]]]:
     """Figure 11: DRAM traffic normalized to baseline, split into the
     approximate and non-approximate shares."""
     out: dict[str, dict[str, dict[str, float]]] = {}
@@ -231,12 +232,12 @@ def fig11_memory_traffic(evals) -> dict[str, dict[str, dict[str, float]]]:
     return out
 
 
-def fig12_amat(evals) -> dict[str, dict[str, float]]:
+def fig12_amat(evals: dict[str, WorkloadEvaluation]) -> dict[str, dict[str, float]]:
     """Figure 12: average memory access time, normalized to baseline."""
     return _normalized_metric(evals, "amat")
 
 
-def fig13_mpki(evals) -> dict[str, dict[str, float]]:
+def fig13_mpki(evals: dict[str, WorkloadEvaluation]) -> dict[str, dict[str, float]]:
     """Figure 13: LLC misses per kilo-instruction, normalized."""
     return _normalized_metric(evals, "mpki")
 
@@ -244,7 +245,7 @@ def fig13_mpki(evals) -> dict[str, dict[str, float]]:
 # ----------------------------------------------------------------------
 # Figures 14-15 (AVR LLC behaviour breakdowns)
 # ----------------------------------------------------------------------
-def fig14_llc_requests(evals) -> dict[str, dict[str, float]]:
+def fig14_llc_requests(evals: dict[str, WorkloadEvaluation]) -> dict[str, dict[str, float]]:
     """Figure 14: AVR LLC requests on approximate cachelines (%)."""
     out: dict[str, dict[str, float]] = {}
     for name, ev in evals.items():
@@ -260,7 +261,7 @@ def fig14_llc_requests(evals) -> dict[str, dict[str, float]]:
     return out
 
 
-def fig15_llc_evictions(evals) -> dict[str, dict[str, float]]:
+def fig15_llc_evictions(evals: dict[str, WorkloadEvaluation]) -> dict[str, dict[str, float]]:
     """Figure 15: AVR LLC evictions of approximate cachelines (%)."""
     out: dict[str, dict[str, float]] = {}
     for name, ev in evals.items():

@@ -18,6 +18,8 @@ result cache — all three paths produce bit-identical
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, TYPE_CHECKING
 
 import numpy as np
 
@@ -27,6 +29,11 @@ from ..designs import BASELINE, COMPARED, DesignMap, DesignSpec
 from ..system.layout import AddressLayout
 from ..system.simulator import SimResult
 from ..workloads.base import Workload, WorkloadResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..common.types import ErrorThresholds
+    from ..designs import DesignLike
+    from ..trace.store import TraceStore
 
 #: design points evaluated by default (baseline + the four compared)
 ALL_DESIGNS = (BASELINE,) + COMPARED
@@ -76,7 +83,7 @@ class WorkloadEvaluation:
     def baseline(self) -> DesignRun:
         return self.runs[BASELINE]
 
-    def normalized(self, design, metric: str) -> float:
+    def normalized(self, design: DesignLike, metric: str) -> float:
         """Design metric / baseline metric (iteration-count adjusted)."""
         run, base = self.runs[design], self.baseline()
         if metric == "time":
@@ -131,14 +138,14 @@ def evaluate_workload(
     config: SystemConfig | None = None,
     scale: float = 1.0,
     seed: int = 0,
-    designs: tuple = ALL_DESIGNS,
+    designs: tuple[DesignSpec, ...] = ALL_DESIGNS,
     max_accesses_per_core: int = 50_000,
-    thresholds=None,
+    thresholds: ErrorThresholds | None = None,
     jobs: int = 1,
-    cache_dir=None,
+    cache_dir: str | Path | None = None,
     engine: str = "vectorized",
-    trace_store=None,
-    **workload_kwargs,
+    trace_store: TraceStore | str | Path | bool | None = None,
+    **workload_kwargs: Any,
 ) -> WorkloadEvaluation:
     """Run one workload through the functional and timing layers.
 
@@ -173,12 +180,12 @@ def evaluate_all(
     config: SystemConfig | None = None,
     scale: float = 1.0,
     seed: int = 0,
-    designs: tuple = ALL_DESIGNS,
+    designs: tuple[DesignSpec, ...] = ALL_DESIGNS,
     max_accesses_per_core: int = 50_000,
     jobs: int = 1,
-    cache_dir=None,
+    cache_dir: str | Path | None = None,
     engine: str = "vectorized",
-    trace_store=None,
+    trace_store: TraceStore | str | Path | bool | None = None,
 ) -> dict[str, WorkloadEvaluation]:
     """Evaluate every workload (paper order).
 

@@ -30,8 +30,8 @@ DRAM-saturation effect the paper is about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import partial
 from pathlib import Path
+from typing import Callable, Iterable, TYPE_CHECKING
 
 from .. import __version__
 from ..common.config import SystemConfig
@@ -58,8 +58,12 @@ from ..system.simulator import SimResult
 from ..trace.generator import GeneratedTrace, budget_iterations, generate_trace
 from ..trace.store import TraceHandle, TraceStore
 from ..workloads.base import Workload, WorkloadResult
-from .cache import ResultCache, content_key
+from .cache import content_key
 from .runner import _build_layout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..designs import DesignLike
+    from .sweep import SweepPoint
 
 __all__ = [
     "SCENARIO_DESIGNS",
@@ -99,7 +103,7 @@ class ScenarioPoint:
     def plans(self) -> list[InstancePlan]:
         return plan_instances(self.scenario, self.seed)
 
-    def instance_point(self, plan: InstancePlan):
+    def instance_point(self, plan: InstancePlan) -> SweepPoint:
         """The functional-layer :class:`SweepPoint` of one instance.
 
         Instances of identical configuration map to the *same* point
@@ -120,7 +124,9 @@ class ScenarioPoint:
         )
 
 
-def scenario_functional_designs(designs) -> tuple[DesignSpec, ...]:
+def scenario_functional_designs(
+    designs: Iterable[DesignLike],
+) -> tuple[DesignSpec, ...]:
     """Functional runs a scenario evaluation needs per instance.
 
     ``baseline`` (reference memory: layouts, footprints, traces) and
@@ -197,7 +203,7 @@ class ScenarioContext:
         """The default composed layout (canonical AVR-measured sizes)."""
         return self.layouts[AVR]
 
-    def layout_for(self, design) -> AddressLayout:
+    def layout_for(self, design: DesignLike) -> AddressLayout:
         """The composed layout a design's timing replay consumes."""
         return self.layouts[layout_source_design(design)]
 
@@ -306,8 +312,8 @@ def scenario_trace_key(point: ScenarioPoint, num_cores: int) -> str:
 def build_scenario_context(
     point: ScenarioPoint,
     config: SystemConfig,
-    functional_for,
-    designs=SCENARIO_DESIGNS,
+    functional_for: Callable[[SweepPoint, DesignSpec], WorkloadResult],
+    designs: Iterable[DesignLike] = SCENARIO_DESIGNS,
     store: TraceStore | None = None,
 ) -> ScenarioContext:
     """Compose per-instance functional results into one machine view.
@@ -515,7 +521,7 @@ class ScenarioEvaluation:
     def name(self) -> str:
         return self.scenario.name
 
-    def normalized_mix_time(self, design) -> float:
+    def normalized_mix_time(self, design: DesignLike) -> float:
         """Mix completion time vs the baseline design's co-run.
 
         NaN when the evaluation did not include the baseline design
@@ -597,14 +603,14 @@ def assemble_scenario_evaluation(
 def evaluate_scenario(
     scenario: Scenario | str,
     config: SystemConfig | None = None,
-    designs: tuple = SCENARIO_DESIGNS,
+    designs: tuple[DesignSpec, ...] = SCENARIO_DESIGNS,
     seed: int = 0,
     thresholds: ErrorThresholds | None = None,
     max_accesses_per_core: int = 50_000,
     jobs: int = 1,
     cache_dir: str | Path | None = None,
     engine: str = "vectorized",
-    trace_store=None,
+    trace_store: TraceStore | str | Path | bool | None = None,
 ) -> ScenarioEvaluation:
     """Run one multi-programmed mix end to end.
 
@@ -659,7 +665,7 @@ def scenario_timing_context(
     )
     cache: dict = {}
 
-    def functional_for(ipoint, design):
+    def functional_for(ipoint: SweepPoint, design: DesignSpec) -> WorkloadResult:
         key = (ipoint, design)
         if key not in cache:
             cache[key] = run_functional_job(ipoint, design)

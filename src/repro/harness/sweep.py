@@ -35,7 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from functools import partial
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, TYPE_CHECKING
 
 from .. import __version__
 from ..common.config import SystemConfig
@@ -57,6 +57,9 @@ from ..trace.store import TraceHandle, TraceStore, resolve_trace_store
 from ..workloads import WORKLOADS, make_workload
 from ..workloads.base import Workload, WorkloadResult
 from .cache import ResultCache, content_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..designs import DesignLike
 from .runner import ALL_DESIGNS, DesignRun, WorkloadEvaluation
 from .scenario import (
     ScenarioEvaluation,
@@ -196,7 +199,7 @@ class SweepSpec:
         )
 
 
-def functional_designs(designs) -> tuple[DesignSpec, ...]:
+def functional_designs(designs: Iterable[DesignLike]) -> tuple[DesignSpec, ...]:
     """Designs whose functional layer actually executes for a point.
 
     ``baseline`` is always needed (it is the reference every other
@@ -223,7 +226,7 @@ def functional_designs(designs) -> tuple[DesignSpec, ...]:
 # ----------------------------------------------------------------------
 # Job units (module-level so they pickle into worker processes)
 # ----------------------------------------------------------------------
-def run_functional_job(point: SweepPoint, design) -> WorkloadResult:
+def run_functional_job(point: SweepPoint, design: DesignLike) -> WorkloadResult:
     """Job unit: one functional round-trip of one design point.
 
     Pure function of ``(point, design)``: the workload is freshly
@@ -271,7 +274,7 @@ def run_timing_job(
     return system.run(trace, engine=engine)
 
 
-def _functional_key(point: SweepPoint, design) -> str:
+def _functional_key(point: SweepPoint, design: DesignLike) -> str:
     """Cache key of a functional job.
 
     Normalized so equivalent jobs share an entry: the trace budget
@@ -289,7 +292,7 @@ def _functional_key(point: SweepPoint, design) -> str:
 
 def _timing_key(
     point: SweepPoint,
-    design,
+    design: DesignLike,
     config: SystemConfig,
     avr_options: dict | None = None,
 ) -> str:
@@ -524,7 +527,9 @@ def run_sweep(
         functional, executed = _run_jobs(pool, cache, functional_jobs, stats)
         stats.functional_executed += executed
 
-        def functional_for(point: SweepPoint, design) -> WorkloadResult:
+        def functional_for(
+            point: SweepPoint, design: DesignLike
+        ) -> WorkloadResult:
             return functional[_functional_key(point, design)]
 
         # --- stage 2: per-point composed layout + trace, then timing --

@@ -65,7 +65,7 @@ class BackingStore:
         self._slots: dict[int, _Slot] = {}
 
     # ------------------------------------------------------------------
-    def _np_dtype(self):
+    def _np_dtype(self) -> type[np.floating] | type[np.integer]:
         return np.float32 if self.dtype == DataType.FLOAT32 else np.int32
 
     def _slot(self, block_addr: int) -> _Slot:

@@ -22,8 +22,8 @@ from ..cache.hierarchy import PrivateCaches
 from ..cache.llc_avr import AVRLLC
 from ..cache.llc_baseline import BaselineLLC
 from ..common.config import SystemConfig
-from ..designs import DesignSpec, get_design
 from ..cpu.interval import IntervalCore
+from ..designs import DesignSpec, get_design
 from ..energy.model import EnergyBreakdown, EnergyModel
 from ..memory.dram import DRAM
 from ..trace.generator import GeneratedTrace

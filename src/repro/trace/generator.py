@@ -194,7 +194,7 @@ def _core_template(
             count = 2 * lines
         else:
             addr_parts.append(addrs)
-            write_parts.append(np.full(lines, phase.writes))
+            write_parts.append(np.full(lines, phase.writes, dtype=np.bool_))
             count = lines
         step_parts.append(np.full(count, step, dtype=np.int64))
         blocks.append((phase, lines, offset, count))
@@ -295,7 +295,11 @@ def _generate_core_reference(
                 fragments.append(both)
             else:
                 fragments.append(
-                    make_trace(addrs, np.full(addrs.size, phase.writes), gaps)
+                    make_trace(
+                        addrs,
+                        np.full(addrs.size, phase.writes, dtype=np.bool_),
+                        gaps,
+                    )
                 )
     return concat_traces(fragments)
 

@@ -21,7 +21,9 @@ WORKLOADS: dict[str, type[Workload]] = {
 }
 
 
-def make_workload(name: str, scale: float = 1.0, seed: int = 0, **kwargs) -> Workload:
+def make_workload(
+    name: str, scale: float = 1.0, seed: int = 0, **kwargs: object
+) -> Workload:
     """Instantiate a workload by its paper name."""
     try:
         cls = WORKLOADS[name]

@@ -16,13 +16,17 @@ A workload owns two views of itself:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..approx.memory import ApproxMemory, approximator_for
 from ..common.types import Design, ErrorThresholds
 from ..compression.errors import mean_relative_error
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..designs import DesignLike, DesignSpec
 
 
 @dataclass(frozen=True)
@@ -158,7 +162,7 @@ class Workload(abc.ABC):
         would round-trip through main memory.
         """
 
-    def approx_regions_for(self, design) -> tuple[str, ...] | None:
+    def approx_regions_for(self, design: "DesignSpec") -> tuple[str, ...] | None:
         """Regions the *functional* round-trip touches under ``design``
         (a resolved :class:`~repro.designs.DesignSpec`).
 
@@ -172,7 +176,7 @@ class Workload(abc.ABC):
 
     def run(
         self,
-        design=Design.BASELINE,
+        design: "DesignLike" = Design.BASELINE,
         thresholds: ErrorThresholds | None = None,
         check_mode: str = "hybrid",
         dganger_threshold: float | None = None,

@@ -20,6 +20,8 @@ from .data import chained_strikes
 
 
 class BlackScholesWorkload(Workload):
+    """Black-Scholes option pricing (AxBench bscholes)."""
+
     name = "bscholes"
     description = "Financial forecasting of stock option prices"
     approx_data = "Options"
@@ -43,8 +45,7 @@ class BlackScholesWorkload(Workload):
         # Spot prices: mean-reverting walk (stays near-the-money, smooth).
         steps_noise = rng.normal(0.0, 0.25, n)
         spot = np.empty(n, dtype=np.float64)
-        level = 100.0
-        # AR(1) via vectorized filter: level_t = 100 + sum phi^(t-k) eps_k
+        # AR(1) around the 100.0 level: level_t = 100 + sum phi^(t-k) eps_k
         phi = 0.995
         ar = np.empty(n)
         acc = 0.0

@@ -17,6 +17,8 @@ from .base import Phase, TraceSpec, Workload
 
 
 class HeatWorkload(Workload):
+    """2D Jacobi heat propagation on a plate with hot boundaries."""
+
     name = "heat"
     description = "2D thermodynamics: heat propagation over a grid"
     approx_data = "Temps"

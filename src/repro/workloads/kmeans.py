@@ -20,6 +20,8 @@ from .data import fractal_terrain
 
 
 class KMeansWorkload(Workload):
+    """1D k-means clustering of a topographic elevation profile."""
+
     name = "kmeans"
     description = "1D k-means clustering of a geographic elevation map"
     approx_data = "Topol."

@@ -36,6 +36,8 @@ def equilibrium(rho: np.ndarray, ux: np.ndarray, uy: np.ndarray) -> np.ndarray:
 
 
 class LatticeWorkload(Workload):
+    """2D Lattice-Boltzmann (D2Q9) air flow over a car silhouette."""
+
     name = "lattice"
     description = "2D Lattice-Boltzmann air flow over a solid car silhouette"
     approx_data = "P and M"

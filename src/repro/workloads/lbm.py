@@ -9,12 +9,17 @@ extremely smooth — the combination behind the paper's 15.6:1 ratio.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..approx.memory import ApproxMemory
 from ..common.types import ErrorThresholds
 from .base import Phase, TraceSpec, Workload
 from .data import sphere_mask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..designs import DesignSpec
 
 
 def _build_d3q19() -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -56,6 +61,8 @@ def equilibrium_3d(rho: np.ndarray, u: np.ndarray) -> np.ndarray:
 
 
 class LbmWorkload(Workload):
+    """3D Lattice-Boltzmann (D3Q19) fluid flow over a sphere."""
+
     name = "lbm"
     description = "3D Lattice-Boltzmann fluid flow over a sphere (SPEC 470.lbm)"
     approx_data = "Velocities"
@@ -74,7 +81,7 @@ class LbmWorkload(Workload):
     U_INFLOW = 0.04
     OMEGA = 1.0
 
-    def approx_regions_for(self, design):
+    def approx_regions_for(self, design: "DesignSpec") -> tuple[str, ...] | None:
         if design.approximator == "dganger":
             # Doppelgänger has no per-value error bound exempting the
             # distribution arrays; its dedup aliases the small

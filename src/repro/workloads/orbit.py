@@ -26,6 +26,8 @@ M1, M2 = 1.0, 1.0
 
 
 class OrbitWorkload(Workload):
+    """Two-particle orbit integration logging phase-space history."""
+
     name = "orbit"
     description = "3D simulation of the two-particle orbit problem"
     approx_data = "Phys. data"

@@ -20,6 +20,8 @@ from .data import smooth_field_2d
 
 
 class WrfWorkload(Workload):
+    """Multi-field 3D atmospheric kernel standing in for WRF."""
+
     name = "wrf"
     description = "Weather forecasting model (advection-diffusion proxy)"
     approx_data = "Geo data"

@@ -6,7 +6,7 @@ import pytest
 from repro.cache.llc_avr import AVRLLC
 from repro.common.config import CacheConfig, DRAMConfig, SystemConfig
 from repro.common.constants import BLOCK_BYTES, CACHELINE_BYTES, VALUES_PER_BLOCK
-from repro.common.types import CompressionMethod, Design, ErrorThresholds
+from repro.common.types import CompressionMethod, ErrorThresholds
 from repro.compression import AVRCompressor
 from repro.harness import run_compressor_ablations, run_llc_ablations
 from repro.harness.ablations import LLC_ABLATIONS

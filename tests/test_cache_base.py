@@ -1,7 +1,5 @@
 """Tests for the generic set-associative cache and private hierarchy."""
 
-import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

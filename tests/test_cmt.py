@@ -1,9 +1,7 @@
 """Tests for the Compression Metadata Table."""
 
-import pytest
-
 from repro.cache.cmt import CMT, CMTEntry
-from repro.common.constants import BLOCK_BYTES, BLOCK_CACHELINES, MAX_SKIP_COUNT
+from repro.common.constants import BLOCK_BYTES, MAX_SKIP_COUNT
 
 
 class TestCMTEntry:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.config import CoreConfig
 from repro.cpu import IntervalCore
-from repro.energy import COMPONENTS, EnergyBreakdown, EnergyCoefficients, EnergyModel
+from repro.energy import COMPONENTS, EnergyCoefficients, EnergyModel
 
 
 class TestIntervalCore:

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.common.constants import SUMMARY_VALUES, VALUES_PER_BLOCK
+from repro.common.constants import SUMMARY_VALUES
 from repro.compression.downsample import (
     downsample_1d,
     downsample_2d,

@@ -91,12 +91,12 @@ class TestReplayTransfers:
         addrs, lines, writes = self._random_log(rng, 800)
         seq = DRAM(DRAMConfig())
         seq_lat = []
-        for a, l, w in zip(addrs, lines, writes):
-            if l == 0:
+        for a, nl, w in zip(addrs, lines, writes):
+            if nl == 0:
                 seq.transfer_partial(int(a), write=bool(w))
                 seq_lat.append(0)
             else:
-                seq_lat.append(seq.access(int(a), int(l), write=bool(w)))
+                seq_lat.append(seq.access(int(a), int(nl), write=bool(w)))
 
         bat = DRAM(DRAMConfig())
         bat_lat = bat.replay_transfers(
@@ -112,11 +112,11 @@ class TestReplayTransfers:
 
         addrs, lines, writes = self._random_log(rng, 400)
         seq = DRAM(DRAMConfig())
-        for a, l, w in zip(addrs, lines, writes):
-            if l == 0:
+        for a, nl, w in zip(addrs, lines, writes):
+            if nl == 0:
                 seq.transfer_partial(int(a), write=bool(w))
             else:
-                seq.access(int(a), int(l), write=bool(w))
+                seq.access(int(a), int(nl), write=bool(w))
         bat = DRAM(DRAMConfig())
         half = 200
         for sl in (slice(0, half), slice(half, None)):

@@ -17,7 +17,6 @@ from repro.common.types import Design
 from repro.harness.runner import _build_layout
 from repro.harness.sweep import SweepPoint, run_functional_job
 from repro.system.factory import build_system
-from repro.system.simulator import TimingSystem
 from repro.trace.generator import generate_trace
 
 CONFIG = SystemConfig.scaled(num_cores=2)
@@ -280,3 +279,75 @@ def test_avr_misaligned_region_bit_identical():
         trace, engine="vectorized"
     )
     assert ref.metrics_equal(vec), ref.metric_diffs(vec)
+
+
+@pytest.mark.parametrize("flavor", ["plain", "truncate"])
+def test_baseline_llc_replay_batch_bit_identical(flavor):
+    """BaselineLLC.replay_batch vs the per-event read()/writeback() loop.
+
+    Covers both the always-exact fast path and the Truncate-style
+    half-width approx traffic split.
+    """
+    from repro.cache.llc_baseline import BaselineLLC
+    from repro.common.config import CacheConfig, DRAMConfig
+    from repro.memory import DRAM
+
+    rng = np.random.default_rng(7)
+    n = 2_000
+    addrs = (rng.integers(0, 1 << 11, size=n) * 64).astype(np.int64)
+    is_read = rng.random(n) < 0.7
+    boundary = 64 * (1 << 10)
+
+    def build():
+        config = CacheConfig(64 * 8 * 16, 8, 15)  # 16 sets: force evictions
+        if flavor == "plain":
+            return BaselineLLC(config, DRAM(DRAMConfig()))
+        return BaselineLLC(
+            config,
+            DRAM(DRAMConfig()),
+            is_approx=lambda addr: addr < boundary,
+            approx_line_bytes=32,
+            is_approx_batch=lambda a: a < boundary,
+        )
+
+    fast, slow = build(), build()
+    batch_latency = fast.replay_batch(addrs, is_read)
+    ref_latency = np.zeros(n, dtype=batch_latency.dtype)
+    for i in range(n):
+        if is_read[i]:
+            ref_latency[i] = slow.read(int(addrs[i]))
+        else:
+            slow.writeback(int(addrs[i]))
+    assert np.array_equal(batch_latency[is_read], ref_latency[is_read])
+    assert fast.stats.as_dict() == slow.stats.as_dict()
+    assert fast.dram.stats.as_dict() == slow.dram.stats.as_dict()
+    assert fast.cache._sets == slow.cache._sets
+
+
+def test_interval_core_replay_batch_bit_identical():
+    """IntervalCore.replay_batch vs the advance()/memory_event() loop.
+
+    The cycle counter is a sequential float chain, so equality here is
+    exact (``==`` on float64), not approximate.
+    """
+    from repro.common.config import CoreConfig
+    from repro.cpu.interval import IntervalCore
+
+    rng = np.random.default_rng(11)
+    n = 5_000
+    gaps = rng.integers(0, 50, size=n).astype(np.int64)
+    latencies = rng.choice(
+        np.array([15.0, 47.0, 233.0, 350.0]), size=n
+    )
+    l1_hit = rng.random(n) < 0.6
+
+    fast, slow = IntervalCore(CoreConfig()), IntervalCore(CoreConfig())
+    fast.replay_batch(gaps, latencies, l1_hit)
+    for gap, latency, hit in zip(gaps, latencies, l1_hit):
+        slow.advance(int(gap))
+        slow.memory_event(float(latency), bool(hit))
+    assert fast.cycles == slow.cycles
+    assert fast.instructions == slow.instructions
+    assert fast.mem_accesses == slow.mem_accesses
+    assert fast.mem_latency_total == slow.mem_latency_total
+    assert fast.amat == slow.amat

@@ -1,11 +1,8 @@
 """Every example script must run cleanly (deliverable b)."""
 
-import runpy
 import subprocess
 import sys
 from pathlib import Path
-
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

@@ -1,6 +1,5 @@
 """Tests for the evaluation harness, experiments and report formatting."""
 
-import numpy as np
 import pytest
 
 from repro.common.config import CacheConfig, SystemConfig

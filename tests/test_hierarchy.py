@@ -6,8 +6,6 @@ the LLC.  These tests pin the corrected policy: all L1 victims land in
 L2 with their dirty flag preserved.
 """
 
-import pytest
-
 from repro.cache.hierarchy import PrivateCaches
 from repro.common.config import SystemConfig
 

@@ -1,6 +1,5 @@
 """Cross-module integration tests: the paper's headline claims in miniature."""
 
-import numpy as np
 import pytest
 
 from repro.common.config import CacheConfig, SystemConfig

@@ -1,7 +1,5 @@
 """Tests for the AVR LLC: request flows (Fig. 7) and evictions (Fig. 8)."""
 
-import numpy as np
-import pytest
 
 from repro.cache.llc_avr import AVRLLC
 from repro.common.config import CacheConfig, DRAMConfig

@@ -1,7 +1,5 @@
 """Tests for the baseline/Truncate/Doppelgänger LLC models."""
 
-import pytest
-
 from repro.cache.llc_baseline import BaselineLLC
 from repro.common.config import CacheConfig, DRAMConfig
 from repro.memory import DRAM

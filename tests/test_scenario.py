@@ -31,7 +31,6 @@ from repro.scenario import (
     instance_seeds,
     named_scenarios,
     parse_mix,
-    plan_instances,
 )
 from repro.system.factory import build_system
 from repro.trace.events import total_instructions

@@ -1,13 +1,16 @@
 """Tests for the parallel sweep engine and its on-disk result cache."""
 
+from copy import deepcopy
 from dataclasses import replace
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.common.config import CacheConfig, SystemConfig
 from repro.common.types import Design, ErrorThresholds
 from repro.harness import evaluate_all, evaluate_workload
-from repro.harness.cache import ResultCache, content_key
+from repro.harness.cache import ResultCache, _canonical, content_key
 from repro.harness.sweep import SweepPoint, SweepSpec, run_sweep
 
 # Small machine + small workload so full sweeps stay test-sized.
@@ -197,3 +200,53 @@ class TestCache:
     def test_content_key_rejects_unknown_types(self):
         with pytest.raises(TypeError):
             content_key(object())
+
+
+class TestCanonicalProperties:
+    """Property tests of the cache-key canonicalizer itself."""
+
+    # spec-shaped values: scalars, tuples of them, str-keyed dicts
+    scalars = (
+        st.none()
+        | st.booleans()
+        | st.integers(-(2**63), 2**63)
+        | st.floats(allow_nan=False)
+        | st.text(max_size=8)
+    )
+    values = st.recursive(
+        scalars,
+        lambda inner: (
+            st.tuples(inner, inner)
+            | st.lists(inner, max_size=3).map(tuple)
+            | st.dictionaries(st.text(max_size=4), inner, max_size=3)
+        ),
+        max_leaves=8,
+    )
+
+    @given(values)
+    def test_equal_values_equal_keys(self, value):
+        """A deep copy canonicalizes (and hashes) identically."""
+        assert _canonical(deepcopy(value)) == _canonical(value)
+        assert content_key(value) == content_key(deepcopy(value))
+
+    @given(st.dictionaries(st.text(max_size=4), scalars, max_size=6))
+    def test_dict_insertion_order_irrelevant(self, mapping):
+        reordered = dict(reversed(list(mapping.items())))
+        assert _canonical(reordered) == _canonical(mapping)
+
+    @given(scalars, scalars)
+    def test_distinct_scalars_distinct_keys(self, a, b):
+        """On scalars the canonical form is injective up to equality.
+
+        (``True == 1`` canonicalizes distinctly — by design: cache keys
+        separate bool from int fields rather than aliasing them.)
+        """
+        if type(a) is type(b) and a != b:
+            assert _canonical(a) != _canonical(b)
+
+    @given(values)
+    def test_round_trip_through_spec_dataclass(self, value):
+        """A spec carrying the value keys identically across instances."""
+        point = SweepPoint("heat", scale=0.5, workload_kwargs=(("v", value),))
+        twin = SweepPoint("heat", scale=0.5, workload_kwargs=(("v", deepcopy(value)),))
+        assert content_key(point) == content_key(twin)

@@ -166,3 +166,25 @@ class TestBudgetAccounting:
         for generator in ("vectorized", "reference"):
             gen = generate_trace(spec, m, num_cores=4, generator=generator)
             assert all(len(t) == 0 for t in gen.cores)
+
+
+def test_trace_field_dtypes_pinned():
+    """Every generated trace carries exactly the pinned TRACE_DTYPE
+    field widths — never the platform default int width (int32 on
+    Windows), which would silently change store hashes and replay
+    arithmetic."""
+    from repro.trace.events import TRACE_DTYPE
+
+    assert TRACE_DTYPE["addr"] == np.uint64
+    assert TRACE_DTYPE["write"] == np.bool_
+    assert TRACE_DTYPE["gap"] == np.uint32
+    for name in WORKLOADS:
+        workload = make_workload(name, scale=SCALE)
+        gen = generate_trace(
+            workload.trace_spec(),
+            allocate_only(workload),
+            num_cores=2,
+            max_accesses_per_core=BUDGET,
+        )
+        for core in gen.cores:
+            assert core.dtype == TRACE_DTYPE, name

@@ -1,7 +1,6 @@
 """Tests for the Truncate comparison design."""
 
 import numpy as np
-import pytest
 
 from repro.compression.truncate import (
     TRUNCATE_RATIO,
