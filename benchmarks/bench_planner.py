@@ -1,0 +1,180 @@
+"""Benchmark: multi-fidelity planner vs the exhaustive sweep grid.
+
+Plans a design space twice — once with a tight full-fidelity budget
+(successive halving) and once unbounded (the exhaustive grid) — and
+reports what the budgeted plan saved and what it recovered:
+
+* **savings** — full-fidelity candidate evaluations of the exhaustive
+  grid divided by the budgeted plan's (the planner's headline number),
+* **precision** — fraction of the budgeted plan's recommendations that
+  lie on the exhaustive grid's true Pareto front (1.0 = the planner
+  never recommends a dominated design),
+* **recall** — fraction of the true front the budgeted plan found
+  (bounded by ``budget``; a budget of 2 cannot return a 5-point front).
+
+Both plans share one result cache, so the exhaustive pass reuses every
+functional job and every survivor's full-fidelity replay from the
+budgeted pass — exactly how the planner composes with sweeps in
+practice.
+
+Default mode searches a 16-candidate space at a moderate trace budget.
+``--check`` is the CI mode: the micro space, budget 2, asserting
+savings >= 4x and precision == 1.0 — it exits nonzero when the planner
+stops earning its keep.  ``--json`` records the comparison; the repo's
+``BENCH_planner.json`` is ``--json BENCH_planner.json``.
+
+Usage::
+
+    python benchmarks/bench_planner.py                   # full space
+    python benchmarks/bench_planner.py --budget 4        # looser budget
+    python benchmarks/bench_planner.py --check           # CI assertion
+    python benchmarks/bench_planner.py --json out.json   # record results
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import tempfile
+import time
+
+from repro import __version__
+from repro.planner import PlanSpec, run_plan
+
+#: default space: 2 designs x 4 thresholds scales x 2 T2 = 16 candidates
+DEFAULT_SPEC = PlanSpec(
+    name="bench",
+    workload="heat",
+    designs=("AVR", "truncate"),
+    thresholds_scales=(0.5, 0.75, 1.0, 1.25),
+    t2_thresholds=(0.01, 0.05),
+    objective="traffic",
+    constraints=("error<=0.2",),
+    budget=2,
+    scale=0.25,
+    max_accesses_per_core=10_000,
+    num_cores=4,
+)
+
+#: CI space: 8 candidates at smoke scale (seconds, not minutes)
+CHECK_SPEC = dataclasses.replace(
+    DEFAULT_SPEC,
+    thresholds_scales=(0.5, 1.0),
+    scale=0.12,
+    max_accesses_per_core=2_000,
+    num_cores=2,
+)
+
+
+def front_keys(result) -> set:
+    return {o.candidate.key() for o in result.front}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=int, default=None,
+                        help="full-fidelity eval budget of the budgeted "
+                             "plan (default 2)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="sweep worker processes")
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="result cache both plans share (default: a "
+                             "temporary directory)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the comparison as JSON")
+    parser.add_argument("--min-savings", type=float, default=4.0,
+                        help="--check fails below this savings factor")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: micro space, savings and "
+                             "precision enforced")
+    args = parser.parse_args(argv)
+
+    spec = CHECK_SPEC if args.check else DEFAULT_SPEC
+    if args.budget is not None:
+        spec = dataclasses.replace(spec, budget=args.budget)
+
+    with tempfile.TemporaryDirectory() as scratch:
+        cache_dir = args.cache_dir or scratch
+        print(f"space: {spec.designs} x scales {spec.thresholds_scales} "
+              f"x t2 {spec.t2_thresholds} on {spec.workload}, "
+              f"objective {spec.objective} s.t. {', '.join(spec.constraints)}",
+              flush=True)
+
+        start = time.perf_counter()
+        budgeted = run_plan(spec, jobs=args.jobs, cache_dir=cache_dir)
+        budgeted_s = time.perf_counter() - start
+        ladder = " -> ".join(
+            f"{len(r.outcomes)}@{r.fidelity}" for r in budgeted.rungs
+        )
+        print(f"budget {spec.budget}: rungs {ladder}, "
+              f"{budgeted.stats.full_fidelity_evals} full-fidelity eval(s), "
+              f"{budgeted_s:.1f}s", flush=True)
+
+        start = time.perf_counter()
+        exhaustive = run_plan(
+            dataclasses.replace(spec, budget=0),
+            jobs=args.jobs, cache_dir=cache_dir,
+        )
+        exhaustive_s = time.perf_counter() - start
+        print(f"exhaustive: {exhaustive.stats.full_fidelity_evals} "
+              f"full-fidelity eval(s), {exhaustive_s:.1f}s "
+              f"(cache shared with the budgeted plan)", flush=True)
+
+    true_front = front_keys(exhaustive)
+    found = front_keys(budgeted)
+    precision = len(found & true_front) / len(found) if found else 0.0
+    recall = len(found & true_front) / len(true_front) if true_front else 1.0
+    savings = budgeted.stats.savings
+
+    print()
+    print(f"true front ({len(true_front)}): "
+          + ", ".join(o.candidate.label() for o in exhaustive.recommended))
+    print(f"planned front ({len(found)}): "
+          + ", ".join(o.candidate.label() for o in budgeted.recommended))
+    print(f"savings {savings:.1f}x  precision {precision:.2f}  "
+          f"recall {recall:.2f}")
+
+    if args.json:
+        payload = {
+            "version": __version__,
+            "plan_hash": spec.content_hash(),
+            "workload": spec.workload,
+            "objective": spec.objective,
+            "constraints": list(spec.constraints),
+            "candidates": budgeted.stats.candidates,
+            "budget": spec.budget,
+            "rungs": [
+                {"count": len(r.outcomes), "fidelity": r.fidelity}
+                for r in budgeted.rungs
+            ],
+            "full_fidelity_evals": budgeted.stats.full_fidelity_evals,
+            "exhaustive_full_evals": exhaustive.stats.full_fidelity_evals,
+            "savings": round(savings, 2),
+            "front_size": len(true_front),
+            "front_found": len(found),
+            "precision": round(precision, 3),
+            "recall": round(recall, 3),
+            "budgeted_s": round(budgeted_s, 2),
+            "exhaustive_s": round(exhaustive_s, 2),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.check:
+        if savings < args.min_savings:
+            print(f"FAIL: savings {savings:.1f}x < required "
+                  f"{args.min_savings}x")
+            return 1
+        if precision < 1.0:
+            print("FAIL: the budgeted plan recommended a dominated design")
+            return 1
+        print("planner check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,11 @@ from .compression import AVRCompressor
 # 1.7.0: repo-invariant static analysis pass (``repro check``) +
 # strict typing gate.  No simulation semantics changed; the bump marks
 # the typed (py.typed) API surface.
-__version__ = "1.7.0"
+# 1.8.0: repro.planner — multi-fidelity design-space search (PlanSpec,
+# successive halving over trace fidelity, Pareto-front selection,
+# ``repro plan``).  Simulation results are unchanged; the bump keys
+# planner cache entries apart from pre-planner runs.
+__version__ = "1.8.0"
 
 #: sweep-engine names re-exported lazily so ``import repro`` stays
 #: lightweight (the harness pulls in every simulator module).

@@ -10,6 +10,8 @@ Commands:
 * ``designs``    — list the registered design points
 * ``ablate``     — run the LLC / compressor ablation studies
 * ``overheads``  — print the §4.2 hardware-overhead accounting
+* ``plan``       — search the design space for Pareto-optimal
+  configurations under an objective, constraints and eval budget
 * ``check``      — run the repo-invariant static analysis pass
 
 ``--designs`` / ``--design`` options accept any registered design name
@@ -384,6 +386,92 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Search the design space with the multi-fidelity planner."""
+    import dataclasses
+    import json
+
+    from .planner import PlanSpec, run_plan
+
+    overrides: dict[str, object] = {}
+    for attr, key in (
+        ("workload", "workload"), ("designs", "designs"),
+        ("scales", "thresholds_scales"), ("t2", "t2_thresholds"),
+        ("widths", "approx_line_bytes"), ("toggles", "avr_toggles"),
+        ("objective", "objective"), ("constraint", "constraints"),
+        ("budget", "budget"), ("eta", "eta"),
+        ("initial", "initial_candidates"), ("plan_seed", "seed"),
+        ("scale", "scale"), ("seed", "trace_seed"),
+        ("accesses", "max_accesses_per_core"), ("cores", "num_cores"),
+    ):
+        value = getattr(args, attr)
+        if value is not None:
+            overrides[key] = tuple(value) if isinstance(value, list) else value
+    try:
+        if args.spec:
+            spec = dataclasses.replace(PlanSpec.from_file(args.spec), **overrides)
+        else:
+            spec = PlanSpec(**overrides)  # type: ignore[arg-type]
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    result = run_plan(
+        spec, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
+        trace_store=args.trace_store,
+    )
+    stats = result.stats
+
+    budget = spec.budget or "unbounded"
+    print(f"plan {spec.name!r} ({spec.content_hash()[:12]}): "
+          f"{stats.candidates} candidate(s) on {spec.workload}, "
+          f"objective {spec.objective}"
+          + (f", s.t. {', '.join(spec.constraints)}" if spec.constraints else "")
+          + f", budget {budget}")
+    ladder = " -> ".join(
+        f"{len(r.outcomes)}@{r.fidelity}" for r in result.rungs
+    )
+    print(f"rungs (count@accesses/core): {ladder}")
+    print()
+    if not result.front:
+        print("no feasible candidate satisfies the constraints")
+    else:
+        width = max(16, max(len(o.candidate.label()) for o in result.front))
+        print(f"Pareto front ({len(result.front)} of {stats.candidates}, "
+              f"best {spec.objective} first):")
+        print(f"{'candidate':>{width}} {'traffic':>8} {'time':>6} "
+              f"{'error %':>8} {'compr':>6}")
+        for outcome in result.recommended:
+            m = outcome.metrics
+            print(f"{outcome.candidate.label():>{width}}"
+                  f" {m['traffic']:8.3f} {m['time']:6.2f}"
+                  f" {m['error'] * 100:8.3f} {m['compression']:6.1f}")
+    print()
+    print(f"evals: {stats.full_fidelity_evals} full-fidelity + "
+          f"{stats.low_fidelity_evals} low-fidelity "
+          f"(exhaustive grid: {stats.exhaustive_full_evals}; "
+          f"{stats.savings:.1f}x fewer full evals); "
+          f"{stats.jobs_executed} job(s) executed, "
+          f"{stats.cache_hits} cache hit(s)"
+          + (f"; surrogate fitted from {stats.surrogate_points} cached "
+             f"point(s)" if stats.surrogate_points else ""))
+
+    if args.json:
+        payload = json.dumps(result.to_mapping(), indent=2) + "\n"
+        if args.json == "-":
+            print(payload, end="")
+        else:
+            from pathlib import Path
+
+            Path(args.json).write_text(payload)
+            print(f"wrote {args.json}")
+    if args.expect_cached and stats.jobs_executed:
+        print(f"error: expected a fully cache-served plan but "
+              f"{stats.jobs_executed} job(s) executed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_overheads(_args: argparse.Namespace) -> int:
     """Print the AVR hardware-overhead model (paper \u00a74.2)."""
     o = hardware_overheads()
@@ -471,6 +559,73 @@ def main(argv: list[str] | None = None) -> int:
 
     p_ov = sub.add_parser("overheads", help="print §4.2 hardware overheads")
     p_ov.set_defaults(func=cmd_overheads)
+
+    p_pl = sub.add_parser(
+        "plan",
+        help="search the design space (multi-fidelity Pareto planner)",
+        description="Search the DesignSpec parameter space for "
+                    "configurations optimizing an objective under "
+                    "constraints — e.g. minimize DRAM traffic subject "
+                    "to an output-error budget — via successive "
+                    "halving over trace fidelity plus Pareto-front "
+                    "selection.  Every probe is an ordinary sweep job "
+                    "unit sharing the --cache-dir result cache, and "
+                    "planning is deterministic given the spec and "
+                    "--plan-seed.",
+    )
+    p_pl.add_argument("spec", nargs="?", default=None,
+                      help="optional .toml/.json PlanSpec file; flags "
+                           "below override its fields")
+    p_pl.add_argument("--workload", choices=sorted(WORKLOADS), default=None)
+    p_pl.add_argument("--designs", nargs="+", metavar="DESIGN", default=None,
+                      help="base designs spanning the space, by registry "
+                           "name (default: AVR)")
+    p_pl.add_argument("--scales", nargs="+", type=float, default=None,
+                      metavar="S", help="thresholds_scale variants")
+    p_pl.add_argument("--t2", nargs="+", type=float, default=None,
+                      metavar="T2", help="T2 error-threshold overrides "
+                                         "(T1 = 2*T2)")
+    p_pl.add_argument("--widths", nargs="+", type=_positive_int, default=None,
+                      metavar="BYTES",
+                      help="approx-line-byte widths for truncate designs")
+    p_pl.add_argument("--toggles", nargs="+", default=None, metavar="OPT",
+                      help="AVR options to toggle off one at a time")
+    p_pl.add_argument("--objective", default=None,
+                      help="metric to optimize (default traffic)")
+    p_pl.add_argument("--constraint", action="append", default=None,
+                      metavar="METRIC<=VALUE",
+                      help="feasibility bound, repeatable "
+                           "(e.g. 'error<=0.05')")
+    p_pl.add_argument("--budget", type=int, default=None,
+                      help="max full-fidelity evaluations "
+                           "(0 = unbounded/exhaustive)")
+    p_pl.add_argument("--eta", type=int, default=None,
+                      help="halving factor between rungs (default 2)")
+    p_pl.add_argument("--initial", type=int, default=None, metavar="N",
+                      help="cap on rung-0 candidates (surrogate-seeded)")
+    p_pl.add_argument("--plan-seed", type=int, default=None, dest="plan_seed",
+                      help="planner RNG seed (default 0)")
+    p_pl.add_argument("--scale", type=float, default=None,
+                      help="workload size multiplier")
+    p_pl.add_argument("--seed", type=int, default=None,
+                      help="trace-jitter seed of every evaluation")
+    p_pl.add_argument("--accesses", type=_positive_int, default=None,
+                      help="full-fidelity trace accesses per core")
+    p_pl.add_argument("--cores", type=_positive_int, default=None)
+    p_pl.add_argument("--jobs", type=_positive_int, default=None,
+                      help="worker processes for the sweep engine")
+    p_pl.add_argument("--cache-dir", default=None, metavar="PATH",
+                      help="on-disk result cache shared with "
+                           "sweeps/experiments of the same points")
+    p_pl.add_argument("--engine", choices=ENGINES, default=None)
+    p_pl.add_argument("--trace-store", default=None, metavar="PATH|off")
+    p_pl.add_argument("--json", default=None, metavar="PATH|-",
+                      help="write the full plan report as JSON "
+                           "('-' for stdout)")
+    p_pl.add_argument("--expect-cached", action="store_true",
+                      help="exit 1 unless every job was served from the "
+                           "cache (CI warm-cache assertion)")
+    p_pl.set_defaults(func=cmd_plan)
 
     p_ck = sub.add_parser(
         "check",

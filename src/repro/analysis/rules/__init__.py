@@ -7,6 +7,9 @@ order ``repro check --list-rules`` displays.
 
 from __future__ import annotations
 
-from . import cachekey, docstrings, dtype, parity, picklable, rng
+from . import cachekey, docstrings, dtype, parity, picklable, planner, rng
 
-__all__ = ["cachekey", "docstrings", "dtype", "parity", "picklable", "rng"]
+__all__ = [
+    "cachekey", "docstrings", "dtype", "parity", "picklable", "planner",
+    "rng",
+]

@@ -1,0 +1,127 @@
+"""PLN001 — planner seed discipline.
+
+The planner's one behavioural guarantee is that planning is a pure
+function of ``(PlanSpec, seed)``: the same spec and seed must produce
+the identical plan — rung populations, promotions, front — on every
+machine and every run.  RNG001 already bans *unseeded* generators
+repo-wide; the planner needs a stricter contract on top of it, because
+a generator that is seeded but not *threaded* still breaks plans in
+two ways this rule flags:
+
+* **module-level RNG state** — a ``Generator`` (or ``SeedSequence``)
+  constructed at import time is shared across every plan in the
+  process, so a plan's outcome depends on which plans ran before it;
+* **literal-constant seeds** — ``default_rng(0)`` buried inside a
+  planner module silently ignores ``PlanSpec.seed``, so two specs with
+  different seeds plan identically and the determinism knob is dead.
+
+Every stochastic choice in ``repro.planner`` must instead draw from a
+``Generator`` constructed from the spec's seed and passed down
+explicitly (see ``repro.planner.engine``).  Applies only to modules
+under ``planner/``; a deliberate exception takes an inline
+``# repro: ignore[PLN001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..project import Project, SourceModule, dotted_name
+from ..registry import Rule, register_rule
+
+__all__ = ["PlannerSeedDiscipline"]
+
+#: RNG entry points whose construction this rule audits
+_RNG_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+}
+
+
+def _function_scoped_nodes(tree: ast.Module) -> set[int]:
+    """Ids of every AST node enclosed in a function body."""
+    scoped: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for child in ast.walk(node):
+                scoped.add(id(child))
+    return scoped
+
+
+def _seed_arguments(node: ast.Call) -> Iterator[ast.expr]:
+    """The expressions a RNG constructor call derives its state from."""
+    yield from node.args
+    for keyword in node.keywords:
+        if keyword.arg in (None, "seed", "entropy"):
+            yield keyword.value
+
+
+@register_rule
+class PlannerSeedDiscipline(Rule):
+    """Flag planner RNG state that is not threaded from an explicit seed."""
+
+    id = "PLN001"
+    name = "planner-seed-discipline"
+    summary = (
+        "planner modules must thread an explicit seed/Generator into "
+        "every stochastic choice — no module-level RNG state, no "
+        "literal-constant seeds"
+    )
+    hint = (
+        "construct the Generator from PlanSpec.seed inside the caller "
+        "and pass it down explicitly"
+    )
+
+    def check(
+        self, module: SourceModule, project: Project
+    ) -> Iterator[Finding]:
+        sub = module.package_path
+        if sub is None or sub.split("/", 1)[0] != "planner":
+            return
+        scoped = _function_scoped_nodes(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = dotted_name(node.func, module.imports)
+            if resolved not in _RNG_CONSTRUCTORS:
+                continue
+            tail = resolved.rsplit(".", 1)[-1]
+            if id(node) not in scoped:
+                yield Finding(
+                    rule=self.id,
+                    path=module.display,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"module-level np.random.{tail}(...) creates RNG "
+                        "state shared across plans; construct it per plan "
+                        "from the spec seed"
+                    ),
+                    hint=self.hint,
+                )
+                continue
+            for argument in _seed_arguments(node):
+                if isinstance(argument, ast.Constant) and isinstance(
+                    argument.value, (int, float)
+                ):
+                    yield Finding(
+                        rule=self.id,
+                        path=module.display,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"np.random.{tail}({argument.value!r}) hard-codes "
+                            "the seed inside a planner module, bypassing "
+                            "PlanSpec.seed"
+                        ),
+                        hint=self.hint,
+                    )
+                    break

@@ -43,7 +43,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from .harness.scenario import ScenarioEvaluation
     from .harness.sweep import SweepSpec
 
-__all__ = ["ExperimentResult", "ExperimentSpec", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "dump_flat_toml",
+    "load_spec_mapping",
+    "run_experiment",
+]
 
 #: default machine width when the spec pins neither cores nor scenarios
 DEFAULT_CORES = 8
@@ -139,13 +145,44 @@ class ExperimentSpec:
         file, the ``name`` label, ``jobs``/``cache_dir`` execution
         settings, and the (bit-identical) replay ``engine``.  Two specs
         hash equal iff they enumerate the same job units.
+
+        The digest is computed once per instance and memoized: the
+        planner and sweep hot paths hash the same spec repeatedly (for
+        cache probes, dedup, and logging), and the spec is frozen, so
+        re-serializing the full canonical form each call is pure waste.
+        The memo rides along through ``pickle`` (it lives in the
+        instance ``__dict__``), so worker processes inherit it too.
         """
+        cached = self.__dict__.get("_content_hash")
+        if cached is not None:
+            return cached  # type: ignore[no-any-return]
         identity = tuple(
             (f.name, getattr(self, f.name))
             for f in fields(self)
             if f.name not in self._NON_IDENTITY_FIELDS
         )
-        return content_key("experiment", identity)
+        digest = content_key("experiment", identity)
+        object.__setattr__(self, "_content_hash", digest)
+        return digest
+
+    def pruned(
+        self,
+        designs: tuple[str, ...],
+        t2_thresholds: tuple[float, ...] | None = None,
+    ) -> "ExperimentSpec":
+        """This experiment with its design/threshold axes narrowed.
+
+        The sweep pre-pruning seam the planner uses: a plan's Pareto
+        recommendations replace the exhaustive ``designs`` (and
+        optionally ``t2_thresholds``) axes, so the pruned experiment
+        evaluates only the configurations worth full-fidelity runs.
+        Everything else — workloads, scenarios, scales, seeds,
+        execution settings — carries over unchanged.
+        """
+        changes: dict[str, Any] = {"designs": tuple(designs)}
+        if t2_thresholds is not None:
+            changes["t2_thresholds"] = tuple(t2_thresholds)
+        return replace(self, **changes)
 
     # ------------------------------------------------------------------
     # execution view
@@ -218,24 +255,35 @@ class ExperimentSpec:
         if path.suffix == ".json":
             text = json.dumps(mapping, indent=2) + "\n"
         else:
-            text = _dump_toml(mapping)
+            text = dump_flat_toml(mapping)
         path.write_text(text)
         return path
 
     @classmethod
     def from_file(cls, path: str | Path) -> "ExperimentSpec":
         """Load a spec from a ``.toml`` or ``.json`` file."""
-        path = Path(path)
-        text = path.read_text()
-        if path.suffix == ".json":
-            return cls.from_mapping(json.loads(text))
-        import tomllib
-
-        return cls.from_mapping(tomllib.loads(text))
+        return cls.from_mapping(load_spec_mapping(path))
 
 
-def _dump_toml(mapping: dict[str, Any]) -> str:
-    """Minimal TOML emitter for the flat spec schema.
+def load_spec_mapping(path: str | Path) -> dict[str, Any]:
+    """Parse a ``.toml`` or ``.json`` spec file into a plain mapping.
+
+    The shared loading seam of every declarative spec in the package
+    (:class:`ExperimentSpec`, the planner's
+    :class:`~repro.planner.PlanSpec`): format is chosen by extension,
+    and the returned mapping feeds the spec's ``from_mapping``.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".json":
+        return dict(json.loads(text))
+    import tomllib
+
+    return tomllib.loads(text)
+
+
+def dump_flat_toml(mapping: dict[str, Any]) -> str:
+    """Minimal TOML emitter for the flat spec schemas.
 
     The stdlib parses TOML (``tomllib``) but cannot write it; specs are
     flat scalars/lists, so a small exact emitter keeps the round trip

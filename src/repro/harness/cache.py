@@ -116,6 +116,22 @@ class ResultCache:
     def contains(self, key: str) -> bool:
         return self._path(key).exists()
 
+    def peek(self, key: str, default: Any = None) -> Any:
+        """Like :meth:`get`, but without touching the hit/miss stats.
+
+        The planner's surrogate model harvests already-cached sweep
+        points by probing many speculative keys; those probes are not
+        part of any run's cache-efficiency accounting, so they must not
+        skew ``stats`` (which tests and ``--expect-cached`` assertions
+        read).
+        """
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            return default
+
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` (atomic replace)."""
         path = self._path(key)

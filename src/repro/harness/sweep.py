@@ -77,9 +77,11 @@ __all__ = [
     "SweepStats",
     "SweepResult",
     "functional_designs",
+    "functional_job_key",
     "run_functional_job",
     "run_timing_job",
     "run_sweep",
+    "timing_job_key",
 ]
 
 
@@ -301,6 +303,27 @@ def _timing_key(
         "timing", __version__, point, get_design(design), config,
         avr_options or {},
     )
+
+
+def functional_job_key(point: SweepPoint, design: DesignLike) -> str:
+    """Public name of :func:`_functional_key`.
+
+    The planner's surrogate model probes the result cache for
+    already-computed sweep points without running a sweep; going
+    through this helper guarantees its speculative keys can never
+    drift from the keys ``run_sweep`` itself reads and writes.
+    """
+    return _functional_key(point, design)
+
+
+def timing_job_key(
+    point: SweepPoint,
+    design: DesignLike,
+    config: SystemConfig,
+    avr_options: dict | None = None,
+) -> str:
+    """Public name of :func:`_timing_key` (see :func:`functional_job_key`)."""
+    return _timing_key(point, design, config, avr_options)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,107 @@
+"""Successive-halving schedule and promotion logic.
+
+The multi-fidelity core of the planner, kept as pure functions so the
+engine stays thin and the arithmetic is unit-testable without running
+a single simulation:
+
+* :func:`rung_schedule` — how many candidates run at which trace
+  fidelity (accesses per core), from the starting population down to
+  the full-fidelity budget.  Survivor counts shrink by ``eta`` per
+  rung while fidelity grows by ``eta``, so total low-fidelity work
+  stays within a small constant factor of one full-fidelity pass.
+* :func:`rank_candidates` — the promotion order at a rung: feasible
+  before infeasible, then by Pareto rank over the plan's front
+  metrics, then by the scalar objective, with the candidate key as the
+  final deterministic tie-break.
+
+Unbounded budgets degenerate on purpose: one rung, full fidelity,
+every candidate — exactly the exhaustive grid, which is the
+equivalence anchor the tests pin the planner against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .pareto import metric_matrix, nondominated_rank
+from .spec import MAXIMIZE, Constraint
+
+__all__ = ["Rung", "rank_candidates", "rung_schedule"]
+
+#: lowest fidelity a derived ladder will descend to, in accesses per
+#: core — below this the timing replay is mostly warm-up noise
+MIN_DERIVED_FIDELITY = 1_000
+
+
+@dataclass(frozen=True)
+class Rung:
+    """One rung of the ladder: ``count`` candidates at ``fidelity``."""
+
+    count: int
+    #: trace accesses per core this rung evaluates candidates at
+    fidelity: int
+
+
+def rung_schedule(
+    n_candidates: int,
+    budget: int,
+    eta: int,
+    full_fidelity: int,
+    min_fidelity: int = 0,
+) -> tuple[Rung, ...]:
+    """The successive-halving ladder for a plan.
+
+    ``budget`` caps full-fidelity evaluations; ``0`` (unbounded) or a
+    budget covering the whole population yields the single exhaustive
+    rung.  Otherwise candidate counts shrink geometrically from
+    ``n_candidates`` to the budget while fidelity climbs to
+    ``full_fidelity``, the lowest rung clamped at ``min_fidelity``
+    (derived when 0: ``full/eta^depth`` floored at
+    :data:`MIN_DERIVED_FIDELITY`).
+    """
+    if n_candidates < 1:
+        raise ValueError("a schedule needs at least one candidate")
+    target = n_candidates if budget == 0 else min(budget, n_candidates)
+    counts = [n_candidates]
+    while counts[-1] > target:
+        counts.append(max(target, math.ceil(counts[-1] / eta)))
+    depth = len(counts)
+    floor = min(min_fidelity or MIN_DERIVED_FIDELITY, full_fidelity)
+    return tuple(
+        Rung(
+            count=count,
+            fidelity=max(floor, full_fidelity // eta ** (depth - 1 - i)),
+        )
+        for i, count in enumerate(counts)
+    )
+
+
+def rank_candidates(
+    keys: list[str],
+    metric_rows: list[dict[str, float]],
+    objective: str,
+    constraints: tuple[Constraint, ...],
+    pareto_metrics: tuple[str, ...],
+) -> list[int]:
+    """Promotion order of one rung's outcomes (indices, best first).
+
+    Feasible candidates come first; within each feasibility class the
+    order is (Pareto rank over ``pareto_metrics``, objective value,
+    candidate key).  Pareto rank — not the scalar objective alone —
+    drives promotion so that rung survivors span the emerging front;
+    the key tie-break makes the order a pure function of the inputs.
+    """
+    if len(keys) != len(metric_rows):
+        raise ValueError("keys and metric rows must align")
+    ranks = nondominated_rank(metric_matrix(metric_rows, pareto_metrics))
+    sign = -1.0 if objective in MAXIMIZE else 1.0
+
+    def sort_key(i: int) -> tuple[bool, int, float, str]:
+        infeasible = not all(
+            c.satisfied(metric_rows[i][c.metric]) for c in constraints
+        )
+        return (infeasible, int(ranks[i]), sign * metric_rows[i][objective],
+                keys[i])
+
+    return sorted(range(len(keys)), key=sort_key)

@@ -1,0 +1,93 @@
+"""Cheap numpy surrogate: predict a candidate's objective from cache.
+
+Before the halving loop spends a single simulation, the engine
+harvests every (candidate, fidelity) outcome that previous sweeps and
+plans already left in the result cache (see
+:meth:`~repro.planner.engine.Planner._harvest`) and fits this linear
+least-squares model to them.  The surrogate then *seeds* rung 0 — when
+``initial_candidates`` caps the starting population, the candidates
+predicted best enter the race first — and is deliberately never
+trusted for anything the measurements themselves decide (promotion and
+the final front use real evaluations only), so a bad fit can waste
+probes but cannot corrupt the plan.
+
+Features are simple declarative properties of a candidate plus the
+log-fidelity, fitted with :func:`numpy.linalg.lstsq`; everything is
+deterministic, and the one stochastic fallback (no cached data at all)
+lives in the engine behind an explicitly threaded
+:class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .space import Candidate
+
+__all__ = ["Surrogate", "candidate_features"]
+
+#: default T2 stand-in when a candidate uses workload-default thresholds
+_DEFAULT_T2 = 0.01
+
+
+def candidate_features(
+    candidate: Candidate, fidelity: int, full_fidelity: int
+) -> np.ndarray:
+    """Feature vector of one (candidate, fidelity) evaluation."""
+    design = candidate.design
+    t2 = candidate.t2 if candidate.t2 is not None else _DEFAULT_T2
+    line_fraction = (
+        design.approx_line_bytes / 64.0
+        if design.approx_line_bytes is not None
+        else 1.0
+    )
+    return np.array(
+        [
+            1.0,
+            design.thresholds_scale,
+            math.log10(max(t2, 1e-6)),
+            line_fraction,
+            1.0 if design.llc == "avr" else 0.0,
+            1.0 if design.approximator == "truncate" else 0.0,
+            1.0 if design.approximator == "dganger" else 0.0,
+            float(len(design.avr_options)),
+            math.log2(max(fidelity, 1) / max(full_fidelity, 1)),
+        ],
+        dtype=np.float64,
+    )
+
+
+@dataclass(frozen=True)
+class Surrogate:
+    """A fitted linear model ``features -> objective value``."""
+
+    coef: np.ndarray
+    #: how many harvested points the fit consumed (reporting only)
+    n_points: int
+
+    @classmethod
+    def fit(
+        cls, features: list[np.ndarray], values: list[float]
+    ) -> "Surrogate | None":
+        """Least-squares fit; ``None`` when the system is too thin.
+
+        Requires at least as many points as features — an underdetermined
+        fit would interpolate noise and silently reorder rung 0, so the
+        engine falls back to its seeded shuffle instead.
+        """
+        if not features or len(features) != len(values):
+            return None
+        matrix = np.stack(features)
+        if matrix.shape[0] < matrix.shape[1]:
+            return None
+        coef, *_ = np.linalg.lstsq(
+            matrix, np.asarray(values, dtype=np.float64), rcond=None
+        )
+        return cls(coef=coef, n_points=matrix.shape[0])
+
+    def predict(self, features: np.ndarray) -> float:
+        """Predicted objective value for one feature vector."""
+        return float(features @ self.coef)

@@ -104,6 +104,20 @@ class TestSerialization:
         different = ExperimentSpec(**{**SMALL, "seeds": (1,)})
         assert different.content_hash() != base.content_hash()
 
+    def test_content_hash_memoized_and_survives_pickle(self):
+        import pickle
+
+        spec = ExperimentSpec(**SMALL)
+        first = spec.content_hash()
+        # the canonicalization pass runs once; later calls hit the memo
+        assert spec.__dict__["_content_hash"] == first
+        assert spec.content_hash() is first
+        # the memo rides along through pickling (worker processes,
+        # planner job fan-out) instead of being recomputed per process
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.__dict__.get("_content_hash") == first
+        assert clone.content_hash() == first
+
     def test_content_hash_ignores_field_order_in_file(self, tmp_path):
         a = tmp_path / "a.toml"
         b = tmp_path / "b.toml"
