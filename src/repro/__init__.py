@@ -45,7 +45,7 @@ from .compression import AVRCompressor
 # successive halving over trace fidelity, Pareto-front selection,
 # ``repro plan``).  Simulation results are unchanged; the bump keys
 # planner cache entries apart from pre-planner runs.
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 #: sweep-engine names re-exported lazily so ``import repro`` stays
 #: lightweight (the harness pulls in every simulator module).

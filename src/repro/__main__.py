@@ -12,6 +12,8 @@ Commands:
 * ``overheads``  — print the §4.2 hardware-overhead accounting
 * ``plan``       — search the design space for Pareto-optimal
   configurations under an objective, constraints and eval budget
+* ``cache``      — inspect and maintain an on-disk result cache
+  (``stats`` / ``gc`` / ``verify`` / ``ls``)
 * ``check``      — run the repo-invariant static analysis pass
 
 ``--designs`` / ``--design`` options accept any registered design name
@@ -20,6 +22,8 @@ suggestions.  All simulation commands accept ``--jobs N`` to fan the
 evaluation grid's job units out over ``N`` worker processes (``1`` =
 serial, bit-identical to parallel runs), ``--cache-dir PATH`` to
 memoize job results on disk so repeated runs skip completed points,
+``--cache-backend {sharded,memory[:N],readthrough:PATH}`` to pick the
+cache storage stack (execution-only; every backend is bit-identical),
 and ``--engine {vectorized,reference}`` to select the timing-replay
 implementation (the batched fast path and the reference loop produce
 bit-identical results).  ``--trace-store PATH|off`` controls the
@@ -102,6 +106,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="PATH",
                         help="on-disk result cache; re-runs skip "
                              "already-computed sweep points")
+    parser.add_argument("--cache-backend", default=None, metavar="SPEC",
+                        help="cache storage stack: 'sharded' (default), "
+                             "'memory[:N]' (in-process LRU tier over the "
+                             "shards), or 'readthrough:PATH' (read-only "
+                             "secondary cache consulted on miss); every "
+                             "backend is bit-identical")
     parser.add_argument("--engine", choices=ENGINES, default="vectorized",
                         help="timing-replay engine: the batched fast "
                              "path (default) or the reference "
@@ -152,7 +162,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         names=names, config=config, scale=args.scale, seed=args.seed,
         designs=designs, max_accesses_per_core=args.accesses,
         jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
-        trace_store=args.trace_store,
+        trace_store=args.trace_store, cache_backend=args.cache_backend,
     )
     _print_evaluations(evals)
     return 0
@@ -172,7 +182,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
         args.name, config=config, scale=args.scale, seed=args.seed,
         designs=designs, max_accesses_per_core=args.accesses,
         jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
-        trace_store=args.trace_store,
+        trace_store=args.trace_store, cache_backend=args.cache_backend,
     )
     print(f"{args.name}: footprint {ev.footprint_bytes / 1e6:.1f} MB, "
           f"AVR ratio {ev.avr_compression_ratio:.1f}:1, "
@@ -225,7 +235,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         scenario, config=config, designs=designs, seed=args.seed,
         max_accesses_per_core=args.accesses,
         jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
-        trace_store=args.trace_store,
+        trace_store=args.trace_store, cache_backend=args.cache_backend,
     )
 
     print(f"scenario {ev.name}: {scenario.mix_string()} — "
@@ -291,6 +301,7 @@ def cmd_ablate(args: argparse.Namespace) -> int:
         args.name, config=config, scale=args.scale,
         max_accesses_per_core=args.accesses, design=design,
         jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
+        cache_backend=args.cache_backend,
     )
     full = llc["full AVR"]
     rows = {
@@ -306,6 +317,7 @@ def cmd_ablate(args: argparse.Namespace) -> int:
     print()
     comp = run_compressor_ablations(
         args.name, scale=min(args.scale, 0.5), cache_dir=args.cache_dir,
+        cache_backend=args.cache_backend,
     )
     print(format_table(f"Compressor ablations on {args.name} data", comp,
                        "{:.2f}", col_order=["ratio", "mean_error_pct", "success_pct"]))
@@ -340,7 +352,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
           f"{', '.join(spec.designs)}")
     result = run_experiment(
         spec, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
-        trace_store=args.trace_store,
+        trace_store=args.trace_store, cache_backend=args.cache_backend,
     )
 
     if result.evaluations:
@@ -377,6 +389,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     print()
     print(f"sweep: {stats.executed} job(s) executed, "
           f"{stats.cache_hits} cache hit(s), {stats.cache_misses} miss(es), "
+          f"{stats.cache_stores} stored, "
           f"{stats.traces_mapped} trace(s) mapped, "
           f"{stats.traces_generated} generated")
     if args.expect_cached and stats.executed:
@@ -418,7 +431,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
     result = run_plan(
         spec, jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
-        trace_store=args.trace_store,
+        trace_store=args.trace_store, cache_backend=args.cache_backend,
     )
     stats = result.stats
 
@@ -472,6 +485,74 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect and maintain an on-disk result cache directory."""
+    from pathlib import Path
+
+    from .harness.cache import ShardedFileBackend
+
+    root = Path(args.dir)
+    if not root.is_dir():
+        print(f"error: {root} is not a cache directory", file=sys.stderr)
+        return 2
+    backend = ShardedFileBackend(root, read_only=args.action != "gc")
+
+    if args.action == "stats":
+        usage = backend.disk_usage()
+        print(f"cache {root}:")
+        print(f"  entries:   {usage.entries} ({usage.indexed} indexed)")
+        print(f"  bytes:     {usage.total_bytes:,} "
+              f"({usage.total_bytes / 1e6:.1f} MB)")
+        print(f"  shards:    {usage.shards}")
+        print(f"  tmp files: {usage.tmp_files}")
+        for version, count in sorted(usage.versions.items()):
+            print(f"  version {version}: {count} entr(ies)")
+        return 0
+
+    if args.action == "ls":
+        for key in backend.keys():
+            if args.prefix and not key.startswith(args.prefix):
+                continue
+            print(key)
+        return 0
+
+    if args.action == "verify":
+        report = backend.verify()
+        print(f"cache {root}: {report.entries} entr(ies), "
+              f"{report.total_bytes:,} bytes, {report.tmp_files} tmp file(s)")
+        for label, keys in (
+            ("corrupt", report.corrupt),
+            ("phantom (indexed, payload gone)", report.phantom),
+            ("unindexed (self-heals on next put/gc)", report.unindexed),
+        ):
+            if keys:
+                print(f"  {label}: {len(keys)}")
+                for key in keys[:10]:
+                    print(f"    {key}")
+                if len(keys) > 10:
+                    print(f"    ... and {len(keys) - 10} more")
+        if not report.ok:
+            print("error: corrupt payload(s) found; 'repro cache gc' "
+                  "leaves them (version-keyed entries re-execute "
+                  "bit-identically) — remove the listed files to "
+                  "reclaim space", file=sys.stderr)
+            return 1
+        print("  ok")
+        return 0
+
+    report = backend.gc(
+        max_bytes=args.max_bytes, stale=args.stale,
+        tmp_max_age_s=args.tmp_age, dry_run=args.dry_run,
+    )
+    verb = "would remove" if report.dry_run else "removed"
+    print(f"cache {root}: {verb} {report.tmp_removed} tmp file(s), "
+          f"{report.stale_removed} stale entr(ies), "
+          f"{report.evicted} evicted ({report.bytes_removed:,} bytes); "
+          f"kept {report.entries_kept} entr(ies), "
+          f"{report.bytes_kept:,} bytes")
+    return 0
+
+
 def cmd_overheads(_args: argparse.Namespace) -> int:
     """Print the AVR hardware-overhead model (paper \u00a74.2)."""
     o = hardware_overheads()
@@ -522,6 +603,9 @@ def main(argv: list[str] | None = None) -> int:
                       help="override the spec's worker-process count")
     p_ex.add_argument("--cache-dir", default=None, metavar="PATH",
                       help="override the spec's result-cache directory")
+    p_ex.add_argument("--cache-backend", default=None, metavar="SPEC",
+                      help="override the spec's cache backend stack "
+                           "(sharded | memory[:N] | readthrough:PATH)")
     p_ex.add_argument("--engine", choices=ENGINES, default=None,
                       help="override the spec's timing-replay engine")
     p_ex.add_argument("--trace-store", default=None, metavar="PATH|off",
@@ -559,6 +643,37 @@ def main(argv: list[str] | None = None) -> int:
 
     p_ov = sub.add_parser("overheads", help="print §4.2 hardware overheads")
     p_ov.set_defaults(func=cmd_overheads)
+
+    p_ca = sub.add_parser(
+        "cache",
+        help="inspect and maintain an on-disk result cache",
+        description="Operate on a --cache-dir directory: 'stats' "
+                    "summarizes usage from the shard indexes, 'gc' "
+                    "sweeps orphaned temp files / purges stale-version "
+                    "entries / evicts to a byte budget, 'verify' "
+                    "unpickles every payload and cross-checks the "
+                    "indexes (exit 1 on corruption), and 'ls' prints "
+                    "the committed keys.",
+    )
+    p_ca.add_argument("action", choices=("stats", "gc", "verify", "ls"))
+    p_ca.add_argument("dir", help="cache directory (the runs' --cache-dir)")
+    p_ca.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                      help="gc: evict oldest entries (LRU by mtime) "
+                           "until the survivors fit N bytes")
+    p_ca.add_argument("--stale", action="store_true",
+                      help="gc: purge entries recorded under a "
+                           "different package version (unreadable "
+                           "anyway — version is part of every key)")
+    p_ca.add_argument("--tmp-age", type=float, default=3600.0,
+                      metavar="SECONDS",
+                      help="gc: remove orphaned *.tmp files older than "
+                           "this (default 3600; guards live writers)")
+    p_ca.add_argument("--dry-run", action="store_true",
+                      help="gc: report what would go without removing "
+                           "anything")
+    p_ca.add_argument("--prefix", default=None, metavar="HEX",
+                      help="ls: only keys starting with this prefix")
+    p_ca.set_defaults(func=cmd_cache)
 
     p_pl = sub.add_parser(
         "plan",
@@ -617,6 +732,10 @@ def main(argv: list[str] | None = None) -> int:
     p_pl.add_argument("--cache-dir", default=None, metavar="PATH",
                       help="on-disk result cache shared with "
                            "sweeps/experiments of the same points")
+    p_pl.add_argument("--cache-backend", default=None, metavar="SPEC",
+                      help="cache backend stack (sharded | memory[:N] | "
+                           "readthrough:PATH); 'memory' keeps a plan's "
+                           "repeated probes in RAM across rungs")
     p_pl.add_argument("--engine", choices=ENGINES, default=None)
     p_pl.add_argument("--trace-store", default=None, metavar="PATH|off")
     p_pl.add_argument("--json", default=None, metavar="PATH|-",

@@ -7,9 +7,18 @@ order ``repro check --list-rules`` displays.
 
 from __future__ import annotations
 
-from . import cachekey, docstrings, dtype, parity, picklable, planner, rng
+from . import (
+    cachefile,
+    cachekey,
+    docstrings,
+    dtype,
+    parity,
+    picklable,
+    planner,
+    rng,
+)
 
 __all__ = [
-    "cachekey", "docstrings", "dtype", "parity", "picklable", "planner",
-    "rng",
+    "cachefile", "cachekey", "docstrings", "dtype", "parity", "picklable",
+    "planner", "rng",
 ]

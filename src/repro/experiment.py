@@ -92,6 +92,10 @@ class ExperimentSpec:
     jobs: int = 1
     #: default on-disk result-cache directory (None = no cache)
     cache_dir: str | None = None
+    #: result-cache backend stack (``sharded`` | ``memory[:N]`` |
+    #: ``readthrough:PATH``); every backend is bit-identical, so this
+    #: is execution-only (see :func:`repro.harness.cache.resolve_backend`)
+    cache_backend: str | None = None
     #: memory-mapped composed-trace store directory; None derives
     #: ``<cache_dir>/traces`` when caching, ``"off"`` disables it (see
     #: :func:`repro.trace.store.resolve_trace_store`)
@@ -133,7 +137,7 @@ class ExperimentSpec:
     #: sweep-cache keys already assume); stored traces are bit-identical
     #: to regenerated ones, so the trace store is execution-only too
     _NON_IDENTITY_FIELDS = frozenset(
-        {"name", "jobs", "cache_dir", "engine", "trace_store"}
+        {"name", "jobs", "cache_dir", "cache_backend", "engine", "trace_store"}
     )
 
     def content_hash(self) -> str:
@@ -345,6 +349,7 @@ def run_experiment(
     cache_dir: str | Path | None = None,
     engine: str | None = None,
     trace_store: str | Path | bool | None = None,
+    cache_backend: str | None = None,
 ) -> ExperimentResult:
     """Execute an experiment spec (or spec file) end to end.
 
@@ -354,8 +359,8 @@ def run_experiment(
     decomposed into the same sweep job units, so results are
     bit-identical to the equivalent programmatic calls and cache
     entries are shared with them.  ``jobs`` / ``cache_dir`` /
-    ``engine`` / ``trace_store`` override the spec's execution
-    settings without touching its identity.
+    ``engine`` / ``trace_store`` / ``cache_backend`` override the
+    spec's execution settings without touching its identity.
     """
     from .harness.sweep import run_sweep
 
@@ -369,5 +374,8 @@ def run_experiment(
         jobs=jobs if jobs is not None else spec.jobs,
         cache_dir=resolved_cache,
         trace_store=trace_store if trace_store is not None else spec.trace_store,
+        cache_backend=(
+            cache_backend if cache_backend is not None else spec.cache_backend
+        ),
     )
     return ExperimentResult(spec=spec, sweep=sweep)

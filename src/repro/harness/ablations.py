@@ -26,11 +26,10 @@ from ..compression.compressor import AVRCompressor
 from ..compression.errors import relative_error
 from ..designs import AVR, BASELINE, get_design, layout_source_design
 from ..trace.generator import generate_trace
-from .cache import ResultCache
+from .cache import resolve_result_cache
 from .runner import _build_layout
 from .sweep import (
     SweepPoint,
-    _cache_lookup,
     _execute_jobs,
     _functional_key,
     _make_pool,
@@ -80,6 +79,7 @@ def run_llc_ablations(
     cache_dir: str | Path | None = None,
     engine: str = "vectorized",
     design: "DesignLike" = "AVR",
+    cache_backend: str | None = None,
     **workload_kwargs: object,
 ) -> dict[str, AblationPoint]:
     """Run one AVR-family design under each LLC ablation variant.
@@ -110,7 +110,7 @@ def run_llc_ablations(
         max_accesses_per_core=max_accesses_per_core,
         workload_kwargs=tuple(sorted(workload_kwargs.items())),
     )
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    cache = resolve_result_cache(cache_dir, cache_backend)
     workload = point.make()
 
     with _make_pool(jobs) as pool:
@@ -125,12 +125,17 @@ def run_llc_ablations(
         layout = _build_layout(workload, layout_run)
         timing: dict[str, object] = {}
         timing_jobs: dict[str, tuple] = {}
+        variant_keys = {
+            _timing_key(point, design, config, options): options
+            for options in variants.values()
+        }
+        # One batched pass over every variant's key; only misses pay
+        # for trace generation and a replay job.
+        if cache is not None:
+            timing.update(cache.get_many(list(variant_keys)))
         trace = None
-        for options in variants.values():
-            key = _timing_key(point, design, config, options)
-            cached = _cache_lookup(cache, key)
-            if cached is not None:
-                timing[key] = cached
+        for key, options in variant_keys.items():
+            if key in timing:
                 continue
             if trace is None:
                 trace = generate_trace(
@@ -179,6 +184,7 @@ def run_compressor_ablations(
     variants: dict[str, dict] | None = None,
     seed: int = 0,
     cache_dir: str | Path | None = None,
+    cache_backend: str | None = None,
     **workload_kwargs: object,
 ) -> dict[str, dict[str, float]]:
     """Compression ratio / mean error per compressor variant, measured
@@ -194,7 +200,7 @@ def run_compressor_ablations(
         seed=seed,
         workload_kwargs=tuple(sorted(workload_kwargs.items())),
     )
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    cache = resolve_result_cache(cache_dir, cache_backend)
     key = _functional_key(point, BASELINE)
     functional, _ = _run_jobs(
         _SerialExecutor(), cache, {key: (run_functional_job, point, BASELINE)}

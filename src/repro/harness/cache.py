@@ -1,12 +1,11 @@
-"""Content-addressed on-disk cache for sweep job results.
+"""Content-addressed result cache with pluggable storage backends.
 
 Every sweep job (a functional round-trip or a timing replay) is a pure
 function of its spec: the :class:`~repro.harness.sweep.SweepPoint`, the
 design, the :class:`~repro.common.config.SystemConfig` and the package
 version.  :func:`content_key` folds those inputs into a stable SHA-256
-digest, and :class:`ResultCache` maps digests to pickled results under
-a cache directory, so re-runs and ablation sweeps skip already-computed
-points.
+digest, and :class:`ResultCache` maps digests to pickled results, so
+re-runs and ablation sweeps skip already-computed points.
 
 Keys are built from a *canonical text form* of the inputs (dataclasses
 by field, enums by name, dicts sorted) rather than from ``pickle``
@@ -14,21 +13,65 @@ bytes, so the digest is stable across interpreter runs and does not
 depend on pickle protocol details.  Results themselves are stored with
 ``pickle`` — numpy arrays round-trip exactly, which the sweep engine's
 bit-identical guarantee relies on.
+
+Storage is a :class:`CacheBackend` behind a stable protocol
+(``get``/``put``/``contains`` plus the batched ``get_many`` /
+``peek_many`` / ``put_many`` the warm paths use), with three shipped
+implementations:
+
+* :class:`ShardedFileBackend` — the on-disk store: 256-way sharded
+  pickle files plus a per-shard append-only ``index.jsonl`` so key
+  enumeration, ``contains`` and speculative bulk probes are index
+  scans instead of per-key ``open()`` attempts.  The index is a pure
+  accelerator: payloads commit first, corrupt or missing indexes are
+  rebuilt from the shard, and old (pre-index) cache directories stay
+  valid.
+* :class:`MemoryTierBackend` — a size-bounded in-process LRU wrapped
+  over any backend, so repeated reads inside one process (planner
+  rungs re-reading shared functional results, scenario subsets
+  re-reading baselines) skip the filesystem entirely.
+* :class:`ReadThroughBackend` — a read-only secondary cache consulted
+  on primary miss, with hits promoted into the primary: the first step
+  toward multi-host cache sharing (e.g. a preseeded NFS cache).
+
+Maintenance — orphaned ``*.tmp`` sweeps, stale-``__version__`` purges
+and LRU-by-mtime eviction under a byte budget — lives in
+:meth:`CacheBackend.gc` / :meth:`CacheBackend.verify` and is exposed as
+the ``repro cache`` CLI.
 """
 
 from __future__ import annotations
 
+import abc
 import dataclasses
 import hashlib
+import json
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable, Mapping
 
-__all__ = ["CacheStats", "ResultCache", "content_key"]
+from .. import __version__
+
+__all__ = [
+    "CacheBackend",
+    "CacheStats",
+    "DiskUsage",
+    "GCReport",
+    "MemoryTierBackend",
+    "ReadThroughBackend",
+    "ResultCache",
+    "ShardedFileBackend",
+    "VerifyReport",
+    "content_key",
+    "resolve_backend",
+    "resolve_result_cache",
+]
 
 
 def _canonical(obj: Any) -> str:
@@ -72,49 +115,883 @@ def content_key(*parts: Any) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for one cache instance."""
+    """Traffic counters for one cache instance.
+
+    A composed backend stack (memory tier over sharded files, or a
+    read-through pair) shares *one* stats object, so ``hits`` /
+    ``misses`` / ``stores`` describe the stack's externally visible
+    traffic regardless of which layer served it; the remaining fields
+    break that traffic down (``memory_hits`` of the ``hits`` never
+    touched disk, ``index_hits`` were answered from shard indexes,
+    ``promotions`` were copied up from a read-through secondary).
+    ``file_opens`` counts payload ``open()`` *attempts*, including
+    failed probes of absent keys — the syscall traffic the shard
+    indexes exist to eliminate.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    file_opens: int = 0
+    index_hits: int = 0
+    memory_hits: int = 0
+    promotions: int = 0
+    evictions: int = 0
+
+
+@dataclass
+class GCReport:
+    """What one :meth:`CacheBackend.gc` pass removed and kept."""
+
+    tmp_removed: int = 0
+    stale_removed: int = 0
+    evicted: int = 0
+    bytes_removed: int = 0
+    entries_kept: int = 0
+    bytes_kept: int = 0
+    dry_run: bool = False
+
+    @property
+    def entries_removed(self) -> int:
+        """Payload entries removed (stale purge + byte-budget eviction)."""
+        return self.stale_removed + self.evicted
+
+
+@dataclass
+class VerifyReport:
+    """Read-only consistency report of an on-disk cache.
+
+    ``corrupt`` entries (unreadable payloads) are the only hard
+    failures; ``phantom`` (indexed but payload gone) and ``unindexed``
+    (payload present but not indexed — e.g. written by a pre-index
+    version, or a writer that died between payload commit and index
+    append) are advisory and self-heal on the next ``put``/``gc``.
+    """
+
+    entries: int = 0
+    total_bytes: int = 0
+    corrupt: list[str] = field(default_factory=list)
+    phantom: list[str] = field(default_factory=list)
+    unindexed: list[str] = field(default_factory=list)
+    tmp_files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every payload on disk unpickles."""
+        return not self.corrupt
+
+
+@dataclass
+class DiskUsage:
+    """Light-weight (no unpickling) usage summary of an on-disk cache."""
+
+    entries: int = 0
+    total_bytes: int = 0
+    shards: int = 0
+    indexed: int = 0
+    tmp_files: int = 0
+    #: entry count per recorded package version ("?" = unrecorded,
+    #: i.e. indexed by a rebuild or written before indexes existed)
+    versions: dict[str, int] = field(default_factory=dict)
+
+
+#: pickle failure modes treated as cache misses (torn writes, version
+#: skew of pickled classes, foreign entries)
+_READ_ERRORS = (
+    OSError,
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ImportError,
+)
+
+#: sentinel distinguishing "absent" from a cached ``None``-ish default
+_MISS = object()
+
+
+class CacheBackend(abc.ABC):
+    """Storage protocol every result-cache implementation speaks.
+
+    Single-key ``get``/``peek``/``put``/``contains`` plus the batched
+    ``get_many``/``peek_many``/``put_many`` the warm paths drive.
+    ``peek*`` are stats-neutral on hits/misses (the planner's
+    speculative surrogate probes must not skew ``--expect-cached``
+    accounting); ``get*`` count.  Subclasses may override the batch
+    methods with bulk implementations; the defaults loop.
+    """
+
+    #: shared traffic counters (one object per composed backend stack)
+    stats: CacheStats
+
+    @abc.abstractmethod
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return the cached value for ``key`` (counted), or ``default``."""
+
+    @abc.abstractmethod
+    def peek(self, key: str, default: Any = None) -> Any:
+        """Like :meth:`get` but without hit/miss accounting."""
+
+    @abc.abstractmethod
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (atomic for on-disk backends)."""
+
+    @abc.abstractmethod
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` has a committed entry (stats-neutral)."""
+
+    @abc.abstractmethod
+    def keys(self) -> list[str]:
+        """Every committed key, sorted (an index scan, not N stats)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of committed entries (``*.tmp`` orphans excluded)."""
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, Any]:
+        """Resolve many keys in one pass; absent keys are omitted.
+
+        Counts one hit per returned key and one miss per omitted key.
+        """
+        results: dict[str, Any] = {}
+        for key in keys:
+            value = self.get(key, _MISS)
+            if value is not _MISS:
+                results[key] = value
+        return results
+
+    def peek_many(self, keys: Iterable[str]) -> dict[str, Any]:
+        """Batched :meth:`peek`: stats-neutral bulk probe."""
+        results: dict[str, Any] = {}
+        for key in keys:
+            value = self.peek(key, _MISS)
+            if value is not _MISS:
+                results[key] = value
+        return results
+
+    def put_many(self, items: Mapping[str, Any]) -> None:
+        """Store many entries (each individually atomic)."""
+        for key, value in items.items():
+            self.put(key, value)
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        stale: bool = False,
+        tmp_max_age_s: float = 3600.0,
+        dry_run: bool = False,
+    ) -> GCReport:
+        """Collect garbage; backends without storage return a no-op report."""
+        return GCReport(dry_run=dry_run)
+
+    def verify(self) -> VerifyReport:
+        """Check storage consistency; default reports nothing to check."""
+        return VerifyReport()
+
+
+class ShardedFileBackend(CacheBackend):
+    """Pickle-per-key store sharded 256 ways, with per-shard indexes.
+
+    The layout is ``<root>/<key[:2]>/<key>.pkl`` — unchanged since the
+    first cache, so existing cache directories remain valid.  New to
+    this backend is ``<root>/<shard>/index.jsonl``: one JSON line per
+    committed entry (key, payload bytes, recording package version),
+    appended atomically *after* the payload's ``os.replace``.  The
+    index is an accelerator, never an authority:
+
+    * a missing or corrupt index is rebuilt from the shard's ``*.pkl``
+      files (version recorded as unknown);
+    * a payload whose index append was lost (writer died in between)
+      reads as absent from batch probes until the next ``put`` of the
+      same key heals it — the job just re-executes, bit-identically;
+    * concurrent writers may append duplicate lines; readers keep the
+      last occurrence.
+
+    ``read_only=True`` (the read-through secondary) never creates the
+    directory, never rewrites indexes and refuses ``put``/``gc``.
+    """
+
+    INDEX_NAME = "index.jsonl"
+
+    def __init__(
+        self,
+        root: str | Path,
+        stats: CacheStats | None = None,
+        read_only: bool = False,
+    ) -> None:
+        self.root = Path(root)
+        self.read_only = read_only
+        if not read_only:
+            try:
+                self.root.mkdir(parents=True, exist_ok=True)
+            except (FileExistsError, NotADirectoryError) as exc:
+                raise NotADirectoryError(
+                    f"cache dir {self.root} exists but is not a directory"
+                ) from exc
+        self.stats = stats if stats is not None else CacheStats()
+        #: in-process view of shard indexes: shard -> {key: (bytes, version)}
+        self._index: dict[str, dict[str, tuple[int, str | None]]] = {}
+
+    # -- paths ---------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def _index_path(self, shard: str) -> Path:
+        return self.root / shard / self.INDEX_NAME
+
+    def _shards(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            d for d in self.root.iterdir() if d.is_dir() and len(d.name) == 2
+        )
+
+    # -- index ---------------------------------------------------------
+    def _rebuild_index(self, shard: str) -> dict[str, tuple[int, str | None]]:
+        """Reconstruct one shard's index from its payload files."""
+        shard_dir = self.root / shard
+        entries: dict[str, tuple[int, str | None]] = {}
+        for path in sorted(shard_dir.glob("*.pkl")):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            entries[path.stem] = (size, None)
+        if not self.read_only:
+            self._write_index(shard, entries)
+        return entries
+
+    def _write_index(
+        self, shard: str, entries: Mapping[str, tuple[int, str | None]]
+    ) -> None:
+        """Atomically rewrite one shard's index file."""
+        shard_dir = self.root / shard
+        if not shard_dir.is_dir():
+            return
+        lines = "".join(
+            json.dumps({"k": key, "n": size, "v": version}) + "\n"
+            for key, (size, version) in sorted(entries.items())
+        )
+        fd, tmp = tempfile.mkstemp(dir=shard_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(lines)
+            os.replace(tmp, self._index_path(shard))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _shard_index(self, shard: str) -> dict[str, tuple[int, str | None]]:
+        """This shard's key index, loading (or rebuilding) on first use."""
+        cached = self._index.get(shard)
+        if cached is not None:
+            return cached
+        path = self._index_path(shard)
+        entries: dict[str, tuple[int, str | None]] = {}
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            # No index yet: a pre-index cache dir (rebuild) or an
+            # untouched shard (empty).
+            if (self.root / shard).is_dir():
+                entries = self._rebuild_index(shard)
+            self._index[shard] = entries
+            return entries
+        try:
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                entries[record["k"]] = (record["n"], record.get("v"))
+        except (json.JSONDecodeError, KeyError, TypeError):
+            entries = self._rebuild_index(shard)
+        self._index[shard] = entries
+        return entries
+
+    def _index_append(self, key: str, size: int) -> None:
+        """Record one committed payload (atomic O_APPEND write)."""
+        shard = key[:2]
+        line = json.dumps({"k": key, "n": size, "v": __version__}) + "\n"
+        with self._index_path(shard).open("a", encoding="utf-8") as fh:
+            fh.write(line)
+        if shard in self._index:
+            self._index[shard][key] = (size, __version__)
+
+    # -- payload I/O ---------------------------------------------------
+    def _load(self, key: str) -> Any:
+        """Read one payload, returning the ``_MISS`` sentinel on failure."""
+        self.stats.file_opens += 1
+        try:
+            with self._path(key).open("rb") as fh:
+                data = fh.read()
+            value = pickle.loads(data)
+        except _READ_ERRORS:
+            return _MISS
+        self.stats.bytes_read += len(data)
+        return value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return the cached value for ``key`` (counted), or ``default``."""
+        value = self._load(key)
+        if value is _MISS:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def peek(self, key: str, default: Any = None) -> Any:
+        """Like :meth:`get` but without hit/miss accounting."""
+        value = self._load(key)
+        return default if value is _MISS else value
+
+    def contains(self, key: str) -> bool:
+        """Index-first presence check, falling back to the filesystem.
+
+        The fallback covers entries another process committed after
+        this process loaded the shard's index.
+        """
+        if key in self._shard_index(key[:2]):
+            self.stats.index_hits += 1
+            return True
+        return self._path(key).exists()
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key``: atomic replace, then index."""
+        if self.read_only:
+            raise RuntimeError(f"cache at {self.root} is read-only")
+        data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._index_append(key, len(data))
+        self.stats.stores += 1
+        self.stats.bytes_written += len(data)
+
+    def _probe_many(
+        self, keys: Iterable[str], count: bool
+    ) -> dict[str, Any]:
+        """Index-gated bulk read shared by ``get_many``/``peek_many``.
+
+        One index load per touched shard decides which keys exist; only
+        those payloads are opened.  Speculative probes of absent keys
+        therefore cost zero ``open()`` attempts — the warm-path win
+        ``bench_cache.py`` measures.
+        """
+        by_shard: dict[str, list[str]] = {}
+        for key in keys:
+            by_shard.setdefault(key[:2], []).append(key)
+        results: dict[str, Any] = {}
+        for shard, shard_keys in by_shard.items():
+            index = self._shard_index(shard)
+            for key in shard_keys:
+                if key not in index:
+                    if count:
+                        self.stats.misses += 1
+                    continue
+                self.stats.index_hits += 1
+                value = self._load(key)
+                if value is _MISS:
+                    if count:
+                        self.stats.misses += 1
+                    continue
+                if count:
+                    self.stats.hits += 1
+                results[key] = value
+        return results
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, Any]:
+        """Batched :meth:`get` via per-shard index scans."""
+        return self._probe_many(keys, count=True)
+
+    def peek_many(self, keys: Iterable[str]) -> dict[str, Any]:
+        """Batched :meth:`peek` via per-shard index scans (stats-neutral)."""
+        return self._probe_many(keys, count=False)
+
+    def keys(self) -> list[str]:
+        """Every committed key across all shards, sorted."""
+        found: set[str] = set()
+        for shard_dir in self._shards():
+            found.update(self._shard_index(shard_dir.name))
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    # -- maintenance ---------------------------------------------------
+    def _scan(self) -> list[tuple[str, Path, int, float, str | None]]:
+        """Enumerate committed payloads: (key, path, bytes, mtime, version).
+
+        Driven by the payload files (the authority), with versions
+        looked up from the shard indexes where recorded.
+        """
+        entries: list[tuple[str, Path, int, float, str | None]] = []
+        for shard_dir in self._shards():
+            index = self._shard_index(shard_dir.name)
+            for path in sorted(shard_dir.glob("*.pkl")):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                _, version = index.get(path.stem, (0, None))
+                entries.append(
+                    (path.stem, path, stat.st_size, stat.st_mtime, version)
+                )
+        return entries
+
+    def disk_usage(self) -> DiskUsage:
+        """Summarize the store without unpickling anything."""
+        usage = DiskUsage(shards=len(self._shards()))
+        for shard_dir in self._shards():
+            index = self._shard_index(shard_dir.name)
+            usage.tmp_files += sum(1 for _ in shard_dir.glob("*.tmp"))
+            for path in shard_dir.glob("*.pkl"):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue
+                usage.entries += 1
+                usage.total_bytes += size
+                record = index.get(path.stem)
+                if record is not None:
+                    usage.indexed += 1
+                label = record[1] if record and record[1] else "?"
+                usage.versions[label] = usage.versions.get(label, 0) + 1
+        return usage
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        stale: bool = False,
+        tmp_max_age_s: float = 3600.0,
+        dry_run: bool = False,
+    ) -> GCReport:
+        """Sweep orphans, purge stale versions, evict to a byte budget.
+
+        Three independent passes, each optional:
+
+        1. orphaned ``*.tmp`` files older than ``tmp_max_age_s`` are
+           removed (the age guard keeps a live writer's in-flight temp
+           file safe from a concurrent ``gc``);
+        2. with ``stale=True``, entries recorded under a different
+           package ``__version__`` are purged — version is part of
+           every key, so they can never be read again (entries with no
+           recorded version are conservatively kept);
+        3. with ``max_bytes``, the oldest entries by mtime are evicted
+           until the survivors fit the budget (LRU: a hit's ``open``
+           does not bump mtime, but re-``put`` does, and eviction
+           order among a run's entries is deterministic enough for a
+           maintenance pass).
+
+        Surviving entries get their shard indexes compacted (duplicate
+        append lines dropped, removed keys forgotten).  ``dry_run``
+        reports what *would* go without touching anything.
+        """
+        if self.read_only:
+            raise RuntimeError(f"cache at {self.root} is read-only")
+        report = GCReport(dry_run=dry_run)
+        now = time.time()  # repro: ignore[RNG001] - GC ages files, not results
+        for shard_dir in self._shards():
+            for tmp in shard_dir.glob("*.tmp"):
+                try:
+                    age = now - tmp.stat().st_mtime
+                except OSError:
+                    continue
+                if age >= tmp_max_age_s:
+                    report.tmp_removed += 1
+                    if not dry_run:
+                        tmp.unlink(missing_ok=True)
+
+        entries = self._scan()
+        doomed: dict[str, tuple[Path, int]] = {}
+        if stale:
+            for key, path, size, _, version in entries:
+                if version is not None and version != __version__:
+                    doomed[key] = (path, size)
+                    report.stale_removed += 1
+        if max_bytes is not None:
+            survivors = [e for e in entries if e[0] not in doomed]
+            total = sum(size for _, _, size, _, _ in survivors)
+            for key, path, size, _, _ in sorted(
+                survivors, key=lambda e: (e[3], e[0])
+            ):
+                if total <= max_bytes:
+                    break
+                doomed[key] = (path, size)
+                report.evicted += 1
+                total -= size
+
+        for path, size in doomed.values():
+            report.bytes_removed += size
+            if not dry_run:
+                path.unlink(missing_ok=True)
+                self.stats.evictions += 1
+        for key, _, size, _, _ in entries:
+            if key not in doomed:
+                report.entries_kept += 1
+                report.bytes_kept += size
+
+        if not dry_run:
+            # Compact: rewrite each touched shard's index from the
+            # surviving payloads, preserving recorded versions.
+            for shard_dir in self._shards():
+                shard = shard_dir.name
+                index = self._shard_index(shard)
+                fresh = {
+                    key: index.get(key, (size, None))
+                    for key, path, size, _, _ in entries
+                    if key[:2] == shard and key not in doomed
+                }
+                self._write_index(shard, fresh)
+                self._index[shard] = dict(fresh)
+        return report
+
+    def verify(self) -> VerifyReport:
+        """Unpickle every payload and cross-check it against the indexes."""
+        report = VerifyReport()
+        for shard_dir in self._shards():
+            shard = shard_dir.name
+            index = self._shard_index(shard)
+            report.tmp_files += sum(1 for _ in shard_dir.glob("*.tmp"))
+            on_disk: set[str] = set()
+            for path in sorted(shard_dir.glob("*.pkl")):
+                key = path.stem
+                on_disk.add(key)
+                try:
+                    with path.open("rb") as fh:
+                        data = fh.read()
+                    pickle.loads(data)
+                except _READ_ERRORS:
+                    report.corrupt.append(key)
+                    continue
+                report.entries += 1
+                report.total_bytes += len(data)
+                if key not in index:
+                    report.unindexed.append(key)
+            report.phantom.extend(
+                sorted(key for key in index if key not in on_disk)
+            )
+        return report
+
+
+class MemoryTierBackend(CacheBackend):
+    """Size-bounded in-process LRU over any inner backend.
+
+    Reads that miss RAM fall through to ``inner`` and populate the
+    tier; writes go to both.  Values served from RAM are the *same*
+    objects handed out before — cached results are treated as
+    immutable by every consumer (the sweep's ``iteration_factor``
+    stamping is deterministic and idempotent), and the differential
+    backend tests pin that bit-identity.  Eviction is LRU by access
+    order, counted in ``stats.evictions``.
+    """
+
+    def __init__(self, inner: CacheBackend, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.inner = inner
+        self.max_entries = max_entries
+        self.stats = inner.stats
+        self._lru: OrderedDict[str, Any] = OrderedDict()
+
+    def _remember(self, key: str, value: Any) -> None:
+        self._lru[key] = value
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.max_entries:
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """RAM first (counted as a hit), then the inner backend."""
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return self._lru[key]
+        value = self.inner.get(key, _MISS)
+        if value is _MISS:
+            return default
+        self._remember(key, value)
+        return value
+
+    def peek(self, key: str, default: Any = None) -> Any:
+        """Stats-neutral read; still populates the tier on inner hits."""
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            return self._lru[key]
+        value = self.inner.peek(key, _MISS)
+        if value is _MISS:
+            return default
+        self._remember(key, value)
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Write through to the inner backend and refresh the tier."""
+        self.inner.put(key, value)
+        self._remember(key, value)
+
+    def contains(self, key: str) -> bool:
+        """RAM membership or the inner backend's answer."""
+        return key in self._lru or self.inner.contains(key)
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, Any]:
+        """Serve what RAM has, batch the rest through the inner backend."""
+        results: dict[str, Any] = {}
+        missing: list[str] = []
+        for key in keys:
+            if key in self._lru:
+                self._lru.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                results[key] = self._lru[key]
+            else:
+                missing.append(key)
+        fetched = self.inner.get_many(missing)
+        for key, value in fetched.items():
+            self._remember(key, value)
+        results.update(fetched)
+        return results
+
+    def peek_many(self, keys: Iterable[str]) -> dict[str, Any]:
+        """Stats-neutral batched read through the tier."""
+        results: dict[str, Any] = {}
+        missing: list[str] = []
+        for key in keys:
+            if key in self._lru:
+                self._lru.move_to_end(key)
+                results[key] = self._lru[key]
+            else:
+                missing.append(key)
+        fetched = self.inner.peek_many(missing)
+        for key, value in fetched.items():
+            self._remember(key, value)
+        results.update(fetched)
+        return results
+
+    def put_many(self, items: Mapping[str, Any]) -> None:
+        """Batched write-through."""
+        self.inner.put_many(items)
+        for key, value in items.items():
+            self._remember(key, value)
+
+    def keys(self) -> list[str]:
+        """The inner backend's committed keys (RAM holds no extras)."""
+        return self.inner.keys()
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        stale: bool = False,
+        tmp_max_age_s: float = 3600.0,
+        dry_run: bool = False,
+    ) -> GCReport:
+        """Delegate to the inner backend; RAM copies stay valid.
+
+        Evicted disk entries may survive in RAM until they age out of
+        the LRU — harmless, since the package version is part of every
+        key and RAM dies with the process.
+        """
+        return self.inner.gc(
+            max_bytes=max_bytes,
+            stale=stale,
+            tmp_max_age_s=tmp_max_age_s,
+            dry_run=dry_run,
+        )
+
+    def verify(self) -> VerifyReport:
+        """Delegate to the inner backend (RAM needs no verification)."""
+        return self.inner.verify()
+
+
+class ReadThroughBackend(CacheBackend):
+    """Primary cache backed by a read-only secondary on miss.
+
+    ``get`` consults the primary, then the secondary; secondary hits
+    are *promoted* — written into the primary — so one preseeded or
+    shared cache warms many private ones.  ``peek``/``peek_many`` stay
+    non-destructive (no promotion): speculative probes must not copy
+    data around.  Writes, GC and verification address the primary
+    only; the secondary is never mutated.
+    """
+
+    def __init__(self, primary: CacheBackend, secondary: CacheBackend) -> None:
+        self.primary = primary
+        self.secondary = secondary
+        self.stats = primary.stats
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Primary, then secondary with promotion (one hit either way)."""
+        value = self.primary.peek(key, _MISS)
+        if value is not _MISS:
+            self.stats.hits += 1
+            return value
+        value = self.secondary.peek(key, _MISS)
+        if value is not _MISS:
+            self.primary.put(key, value)
+            self.stats.hits += 1
+            self.stats.promotions += 1
+            return value
+        self.stats.misses += 1
+        return default
+
+    def peek(self, key: str, default: Any = None) -> Any:
+        """Stats-neutral, promotion-free read through both tiers."""
+        value = self.primary.peek(key, _MISS)
+        if value is _MISS:
+            value = self.secondary.peek(key, _MISS)
+        return default if value is _MISS else value
+
+    def put(self, key: str, value: Any) -> None:
+        """Write to the primary (the secondary is read-only)."""
+        self.primary.put(key, value)
+
+    def contains(self, key: str) -> bool:
+        """Present in either tier."""
+        return self.primary.contains(key) or self.secondary.contains(key)
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, Any]:
+        """Batched read: primary hits, then promoted secondary hits."""
+        keys = list(keys)
+        results = self.primary.peek_many(keys)
+        missing = [key for key in keys if key not in results]
+        promoted = self.secondary.peek_many(missing)
+        if promoted:
+            self.primary.put_many(promoted)
+            self.stats.promotions += len(promoted)
+            results.update(promoted)
+        self.stats.hits += len(results)
+        self.stats.misses += len(keys) - len(results)
+        return results
+
+    def peek_many(self, keys: Iterable[str]) -> dict[str, Any]:
+        """Stats-neutral, promotion-free batched read."""
+        keys = list(keys)
+        results = self.primary.peek_many(keys)
+        missing = [key for key in keys if key not in results]
+        results.update(self.secondary.peek_many(missing))
+        return results
+
+    def put_many(self, items: Mapping[str, Any]) -> None:
+        """Batched write to the primary."""
+        self.primary.put_many(items)
+
+    def keys(self) -> list[str]:
+        """Union of both tiers' committed keys."""
+        return sorted(set(self.primary.keys()) | set(self.secondary.keys()))
+
+    def __len__(self) -> int:
+        return len(self.primary)
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        stale: bool = False,
+        tmp_max_age_s: float = 3600.0,
+        dry_run: bool = False,
+    ) -> GCReport:
+        """Collect the primary only (the secondary is read-only)."""
+        return self.primary.gc(
+            max_bytes=max_bytes,
+            stale=stale,
+            tmp_max_age_s=tmp_max_age_s,
+            dry_run=dry_run,
+        )
+
+    def verify(self) -> VerifyReport:
+        """Verify the primary only."""
+        return self.primary.verify()
+
+
+def resolve_backend(
+    spec: CacheBackend | str | None, cache_dir: str | Path
+) -> CacheBackend:
+    """Build a backend stack from a CLI-style spec string.
+
+    * ``None`` or ``"sharded"`` — the plain on-disk store;
+    * ``"memory"`` / ``"memory:N"`` — an in-process LRU of up to N
+      entries (default 4096) over the on-disk store;
+    * ``"readthrough:PATH"`` — the on-disk store under ``cache_dir``
+      with a read-only secondary at ``PATH`` consulted on miss.
+
+    Every layer of the stack shares one :class:`CacheStats`, so
+    traffic accounting is per-cache, not per-layer.
+    """
+    if isinstance(spec, CacheBackend):
+        return spec
+    stats = CacheStats()
+    if spec is None or spec == "sharded":
+        return ShardedFileBackend(cache_dir, stats=stats)
+    if spec == "memory" or spec.startswith("memory:"):
+        max_entries = 4096
+        if ":" in spec:
+            try:
+                max_entries = int(spec.split(":", 1)[1])
+            except ValueError:
+                raise ValueError(f"bad memory tier size in {spec!r}") from None
+        return MemoryTierBackend(
+            ShardedFileBackend(cache_dir, stats=stats), max_entries=max_entries
+        )
+    if spec.startswith("readthrough:"):
+        secondary_dir = spec.split(":", 1)[1]
+        if not secondary_dir:
+            raise ValueError("readthrough backend needs a secondary path")
+        return ReadThroughBackend(
+            ShardedFileBackend(cache_dir, stats=stats),
+            ShardedFileBackend(secondary_dir, stats=stats, read_only=True),
+        )
+    raise ValueError(
+        f"unknown cache backend {spec!r} "
+        "(expected sharded | memory[:N] | readthrough:PATH)"
+    )
 
 
 class ResultCache:
     """Pickle-backed key/value store under ``cache_dir``.
 
-    Entries are sharded into 256 subdirectories by digest prefix and
-    written atomically (temp file + rename), so concurrent sweeps
-    sharing a cache directory never observe torn entries.  Unreadable
-    or truncated entries are treated as misses.
+    The stable front door every consumer holds: construction resolves
+    ``backend`` (a :class:`CacheBackend` instance or a spec string —
+    see :func:`resolve_backend`; default the sharded on-disk store)
+    and every operation delegates to it.  Entries are written
+    atomically (temp file + rename), so concurrent sweeps sharing a
+    cache directory never observe torn entries; unreadable or
+    truncated entries are treated as misses.
     """
 
-    def __init__(self, cache_dir: str | Path) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path,
+        backend: CacheBackend | str | None = None,
+    ) -> None:
         self.root = Path(cache_dir)
-        try:
-            self.root.mkdir(parents=True, exist_ok=True)
-        except (FileExistsError, NotADirectoryError) as exc:
-            raise NotADirectoryError(
-                f"cache dir {self.root} exists but is not a directory"
-            ) from exc
-        self.stats = CacheStats()
+        self.backend = resolve_backend(backend, self.root)
+
+    @property
+    def stats(self) -> CacheStats:
+        """The backend stack's shared traffic counters."""
+        return self.backend.stats
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str, default: Any = None) -> Any:
         """Return the cached value for ``key``, or ``default``."""
-        path = self._path(key)
-        try:
-            with path.open("rb") as fh:
-                value = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
-            self.stats.misses += 1
-            return default
-        self.stats.hits += 1
-        return value
-
-    def contains(self, key: str) -> bool:
-        return self._path(key).exists()
+        return self.backend.get(key, default)
 
     def peek(self, key: str, default: Any = None) -> Any:
         """Like :meth:`get`, but without touching the hit/miss stats.
@@ -125,29 +1002,68 @@ class ResultCache:
         skew ``stats`` (which tests and ``--expect-cached`` assertions
         read).
         """
-        path = self._path(key)
-        try:
-            with path.open("rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
-            return default
+        return self.backend.peek(key, default)
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` (atomic replace)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.stats.stores += 1
+        self.backend.put(key, value)
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` has a committed entry."""
+        return self.backend.contains(key)
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, Any]:
+        """Batched :meth:`get`; absent keys are omitted from the result."""
+        return self.backend.get_many(keys)
+
+    def peek_many(self, keys: Iterable[str]) -> dict[str, Any]:
+        """Batched :meth:`peek` (stats-neutral bulk probe)."""
+        return self.backend.peek_many(keys)
+
+    def put_many(self, items: Mapping[str, Any]) -> None:
+        """Store many entries (each individually atomic)."""
+        self.backend.put_many(items)
+
+    def keys(self) -> list[str]:
+        """Every committed key, sorted."""
+        return self.backend.keys()
+
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        stale: bool = False,
+        tmp_max_age_s: float = 3600.0,
+        dry_run: bool = False,
+    ) -> GCReport:
+        """Collect garbage — see :meth:`ShardedFileBackend.gc`."""
+        return self.backend.gc(
+            max_bytes=max_bytes,
+            stale=stale,
+            tmp_max_age_s=tmp_max_age_s,
+            dry_run=dry_run,
+        )
+
+    def verify(self) -> VerifyReport:
+        """Consistency-check the store — see :meth:`ShardedFileBackend.verify`."""
+        return self.backend.verify()
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.pkl"))
+        return len(self.backend)
+
+
+def resolve_result_cache(
+    cache_dir: str | Path | ResultCache | None,
+    backend: CacheBackend | str | None = None,
+) -> ResultCache | None:
+    """Normalize a ``cache_dir`` argument into a :class:`ResultCache`.
+
+    Callers (``run_sweep``, the planner) accept either a directory or
+    an already-built cache; passing an instance through lets one
+    memory tier or read-through stack span many internal sweep calls.
+    ``None`` stays ``None`` (caching disabled).
+    """
+    if cache_dir is None:
+        return None
+    if isinstance(cache_dir, ResultCache):
+        return cache_dir
+    return ResultCache(cache_dir, backend=backend)

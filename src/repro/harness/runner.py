@@ -145,6 +145,7 @@ def evaluate_workload(
     cache_dir: str | Path | None = None,
     engine: str = "vectorized",
     trace_store: TraceStore | str | Path | bool | None = None,
+    cache_backend: str | None = None,
     **workload_kwargs: Any,
 ) -> WorkloadEvaluation:
     """Run one workload through the functional and timing layers.
@@ -171,7 +172,8 @@ def evaluate_workload(
         engine=engine,
     )
     return run_sweep(
-        spec, jobs=jobs, cache_dir=cache_dir, trace_store=trace_store
+        spec, jobs=jobs, cache_dir=cache_dir, trace_store=trace_store,
+        cache_backend=cache_backend,
     ).by_workload()[name]
 
 
@@ -186,6 +188,7 @@ def evaluate_all(
     cache_dir: str | Path | None = None,
     engine: str = "vectorized",
     trace_store: TraceStore | str | Path | bool | None = None,
+    cache_backend: str | None = None,
 ) -> dict[str, WorkloadEvaluation]:
     """Evaluate every workload (paper order).
 
@@ -210,5 +213,6 @@ def evaluate_all(
         engine=engine,
     )
     return run_sweep(
-        spec, jobs=jobs, cache_dir=cache_dir, trace_store=trace_store
+        spec, jobs=jobs, cache_dir=cache_dir, trace_store=trace_store,
+        cache_backend=cache_backend,
     ).by_workload()

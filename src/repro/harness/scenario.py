@@ -611,6 +611,7 @@ def evaluate_scenario(
     cache_dir: str | Path | None = None,
     engine: str = "vectorized",
     trace_store: TraceStore | str | Path | bool | None = None,
+    cache_backend: str | None = None,
 ) -> ScenarioEvaluation:
     """Run one multi-programmed mix end to end.
 
@@ -637,7 +638,8 @@ def evaluate_scenario(
         engine=engine,
     )
     return run_sweep(
-        spec, jobs=jobs, cache_dir=cache_dir, trace_store=trace_store
+        spec, jobs=jobs, cache_dir=cache_dir, trace_store=trace_store,
+        cache_backend=cache_backend,
     ).by_scenario()[scenario.name]
 
 

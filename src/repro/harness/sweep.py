@@ -56,7 +56,7 @@ from ..trace.generator import GeneratedTrace
 from ..trace.store import TraceHandle, TraceStore, resolve_trace_store
 from ..workloads import WORKLOADS, make_workload
 from ..workloads.base import Workload, WorkloadResult
-from .cache import ResultCache, content_key
+from .cache import ResultCache, content_key, resolve_result_cache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..designs import DesignLike
@@ -367,6 +367,11 @@ class SweepStats:
     timing_executed: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    #: result-cache entries written this run, folded from the cache's
+    #: own counters at collection time — with ``jobs>1`` the *work*
+    #: happens in pool workers, but every store happens in the parent,
+    #: so this reflects the whole run regardless of worker count
+    cache_stores: int = 0
     #: composed traces memory-mapped from the trace store vs generated
     #: (and committed) this run — a warm store maps everything
     traces_mapped: int = 0
@@ -427,21 +432,6 @@ class SweepResult:
         return {p.workload: ev for p, ev in self.evaluations.items()}
 
 
-def _cache_lookup(
-    cache: ResultCache | None, key: str, stats: SweepStats | None = None
-) -> Any:
-    """Consult the cache for ``key``, with hit/miss accounting."""
-    if cache is None:
-        return None
-    value = cache.get(key)
-    if stats is not None:
-        if value is not None:
-            stats.cache_hits += 1
-        else:
-            stats.cache_misses += 1
-    return value
-
-
 def _execute_jobs(
     pool: Any,
     cache: ResultCache | None,
@@ -454,12 +444,9 @@ def _execute_jobs(
     free of filesystem coordination.
     """
     futures = {key: pool.submit(fn, *args) for key, (fn, *args) in jobs.items()}
-    results: dict[str, Any] = {}
-    for key, future in futures.items():
-        value = future.result()
-        if cache is not None:
-            cache.put(key, value)
-        results[key] = value
+    results = {key: future.result() for key, future in futures.items()}
+    if cache is not None:
+        cache.put_many(results)
     return results
 
 
@@ -471,17 +458,21 @@ def _run_jobs(
 ) -> tuple[dict[str, Any], int]:
     """Execute ``{key: (fn, *args)}``, consulting the cache first.
 
-    Returns the results by key and the number of jobs actually
+    All pending keys are resolved in **one** batched cache pass (one
+    index scan per touched shard) before any miss is submitted to the
+    pool.  Returns the results by key and the number of jobs actually
     executed (i.e. not served from the cache).
     """
     results: dict[str, Any] = {}
-    pending: dict[str, tuple] = {}
-    for key, job in jobs.items():
-        cached = _cache_lookup(cache, key, stats)
-        if cached is not None:
-            results[key] = cached
-        else:
-            pending[key] = job
+    pending = dict(jobs)
+    if cache is not None:
+        cached = cache.get_many(list(jobs))
+        results.update(cached)
+        for key in cached:
+            del pending[key]
+        if stats is not None:
+            stats.cache_hits += len(cached)
+            stats.cache_misses += len(pending)
     results.update(_execute_jobs(pool, cache, pending, stats))
     return results, len(pending)
 
@@ -497,8 +488,9 @@ def _make_pool(jobs: int) -> Any:
 def run_sweep(
     spec: SweepSpec,
     jobs: int = 1,
-    cache_dir: str | Path | None = None,
+    cache_dir: str | Path | ResultCache | None = None,
     trace_store: TraceStore | str | Path | bool | None = None,
+    cache_backend: str | None = None,
 ) -> SweepResult:
     """Evaluate every point of ``spec`` and reassemble the results.
 
@@ -509,6 +501,14 @@ def run_sweep(
     ``cache_dir`` set, job results are reused across runs; a warm cache
     re-executes nothing (``result.stats.executed == 0``).
 
+    ``cache_dir`` may also be an already-built
+    :class:`~repro.harness.cache.ResultCache` — the planner passes one
+    instance through every internal sweep so a memory tier spans the
+    whole plan.  ``cache_backend`` picks the storage stack for a plain
+    directory (``sharded`` | ``memory[:N]`` | ``readthrough:PATH`` —
+    see :func:`repro.harness.cache.resolve_backend`); every backend is
+    bit-identical, it only changes where warm reads are served from.
+
     ``trace_store`` selects the memory-mapped composed-trace store
     (see :func:`repro.trace.store.resolve_trace_store`): by default a
     ``traces/`` directory under ``cache_dir``, so warm runs that still
@@ -518,12 +518,15 @@ def run_sweep(
     result-cache keys are unaffected.
     """
     config = spec.resolved_config()
-    cache = ResultCache(cache_dir) if cache_dir is not None else None
-    store = resolve_trace_store(trace_store, cache_dir)
-    # Snapshot so a caller-supplied store's prior traffic is not
-    # attributed to this run.
+    cache = resolve_result_cache(cache_dir, cache_backend)
+    store = resolve_trace_store(
+        trace_store, cache.root if cache is not None else None
+    )
+    # Snapshot so a caller-supplied store's (or shared cache's) prior
+    # traffic is not attributed to this run.
     store_hits0 = store.stats.hits if store is not None else 0
     store_stores0 = store.stats.stores if store is not None else 0
+    cache_stores0 = cache.stats.stores if cache is not None else 0
     points = spec.points()
     scenario_points = spec.scenario_points()
     needed_functional = functional_designs(spec.designs)
@@ -560,12 +563,16 @@ def run_sweep(
         # — is a scenario: a workload point becomes the trivial solo
         # scenario (one instance spanning every core), whose composed
         # layout and trace are bit-identical to the historical path.
-        # The trace is only composed for points with at least one
-        # timing cache miss: a warm re-run reassembles everything
-        # without regenerating a single address stream.
+        # Keys for *all* timing replays are enumerated first and
+        # resolved in one batched cache pass; only then are misses
+        # turned into pool jobs.  The trace is only composed for points
+        # with at least one timing cache miss: a warm re-run
+        # reassembles everything without regenerating a single address
+        # stream and without a single per-key cache probe.
         contexts: list[tuple[SweepPoint, Workload, WorkloadResult, AddressLayout]] = []
         timing: dict[str, SimResult] = {}
-        timing_jobs: dict[str, tuple] = {}
+        #: key -> how to build the job if the batched lookup misses
+        descriptors: dict[str, tuple] = {}
         dedups: dict[tuple[SweepPoint, DesignSpec], float] = {}
         for point in points:
             workload = point.make()
@@ -592,19 +599,10 @@ def run_sweep(
                 )
                 dedups[(point, design)] = dedup
                 key = _timing_key(point, design, config)
-                cached = _cache_lookup(cache, key, stats)
-                if cached is not None:
-                    timing[key] = cached
-                    continue
-                # Bind the keyword tail by name (partials pickle into
-                # workers) so a signature change fails loudly instead
-                # of silently misbinding positionals.
-                timing_jobs[key] = (
-                    partial(run_timing_job, engine=spec.engine),
+                descriptors[key] = (
+                    context,
                     design,
-                    config,
-                    context.layout_for(design),
-                    context.trace_payload(),
+                    None,
                     reference.memory.footprint_bytes,
                     dedup,
                 )
@@ -621,24 +619,46 @@ def run_sweep(
             for design in spec.designs:
                 for active in subsets:
                     key = scenario_timing_key(spoint, design, config, active)
-                    cached = _cache_lookup(cache, key, stats)
-                    if cached is not None:
-                        timing[key] = cached
-                        continue
-                    timing_jobs[key] = (
-                        partial(run_timing_job, engine=spec.engine),
+                    descriptors[key] = (
+                        context,
                         design,
-                        config,
-                        context.layout_for(design),
-                        context.subset_payload(active),
+                        active,
                         context.footprint_bytes,
                         context.dedup_factors.get(design, 1.0),
                     )
+
+        if cache is not None:
+            cached_timing = cache.get_many(list(descriptors))
+            timing.update(cached_timing)
+            stats.cache_hits += len(cached_timing)
+            stats.cache_misses += len(descriptors) - len(cached_timing)
+        timing_jobs: dict[str, tuple] = {}
+        for key, (context, design, active, footprint, dedup) in descriptors.items():
+            if key in timing:
+                continue
+            # Bind the keyword tail by name (partials pickle into
+            # workers) so a signature change fails loudly instead of
+            # silently misbinding positionals.
+            timing_jobs[key] = (
+                partial(run_timing_job, engine=spec.engine),
+                design,
+                config,
+                context.layout_for(design),
+                (
+                    context.trace_payload()
+                    if active is None
+                    else context.subset_payload(active)
+                ),
+                footprint,
+                dedup,
+            )
         timing.update(_execute_jobs(pool, cache, timing_jobs, stats))
         stats.timing_executed += len(timing_jobs)
     if store is not None:
         stats.traces_mapped = store.stats.hits - store_hits0
         stats.traces_generated = store.stats.stores - store_stores0
+    if cache is not None:
+        stats.cache_stores = cache.stats.stores - cache_stores0
 
     # --- stage 3: reassemble WorkloadEvaluations ----------------------
     result = SweepResult(spec=spec, stats=stats)

@@ -41,7 +41,7 @@ import numpy as np
 from ..common.config import SystemConfig
 from ..common.types import ErrorThresholds
 from ..designs import BASELINE, DesignSpec, register_design
-from ..harness.cache import ResultCache
+from ..harness.cache import resolve_result_cache
 from ..harness.sweep import (
     SweepSpec,
     SweepStats,
@@ -231,12 +231,15 @@ class _Planner:
         jobs: int,
         cache_dir: str | Path | None,
         trace_store: str | Path | bool | None,
+        cache_backend: str | None = None,
     ) -> None:
         self.spec = spec
         self.jobs = jobs
-        self.cache_dir = cache_dir
         self.trace_store = trace_store
-        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        # One cache instance threads through every internal sweep, so a
+        # memory tier (or read-through stack) spans the whole plan —
+        # rungs re-reading shared functional results hit RAM.
+        self.cache = resolve_result_cache(cache_dir, cache_backend)
         self.config = SystemConfig.scaled(num_cores=spec.resolved_cores())
         self.constraints = spec.parsed_constraints()
         self.stats = PlanStats()
@@ -281,7 +284,7 @@ class _Planner:
                     engine=self.spec.engine,
                 ),
                 jobs=self.jobs,
-                cache_dir=self.cache_dir,
+                cache_dir=self.cache,
                 trace_store=self.trace_store,
             )
             self._absorb(sweep.stats, full)
@@ -333,52 +336,85 @@ class _Planner:
     ) -> Surrogate | None:
         """Fit the surrogate from whatever the result cache already holds.
 
-        Probes the cache (via :meth:`ResultCache.peek`, outside hit/miss
-        accounting) for every (candidate, fidelity) pair's job results
-        and reconstructs the objective value from them — no simulation
-        runs here, ever.
+        Every (candidate, fidelity) pair's speculative job keys are
+        enumerated up front and resolved in **one** index-backed bulk
+        probe (:meth:`ResultCache.peek_many` — stats-neutral, and
+        absent keys cost index lookups, not ``open()`` attempts,
+        instead of the historical four ``peek`` calls per pair).
+        Metrics are reconstructed from the probe's results — no
+        simulation runs here, ever.
         """
         if self.cache is None:
             return None
-        features: list[np.ndarray] = []
-        values: list[float] = []
+        probes: list[tuple[Candidate, int, tuple[str, str, str, str]]] = []
+        keys: set[str] = set()
         for candidate in candidates:
             for fidelity in fidelities:
-                metrics = self._cached_metrics(candidate, fidelity)
-                if metrics is None:
-                    continue
-                features.append(
-                    candidate_features(
-                        candidate, fidelity, self.spec.max_accesses_per_core
-                    )
+                group = self._probe_keys(candidate, fidelity)
+                probes.append((candidate, fidelity, group))
+                keys.update(group)
+        blob = self.cache.peek_many(sorted(keys))
+        features: list[np.ndarray] = []
+        values: list[float] = []
+        for candidate, fidelity, group in probes:
+            metrics = self._cached_metrics(candidate, group, blob)
+            if metrics is None:
+                continue
+            features.append(
+                candidate_features(
+                    candidate, fidelity, self.spec.max_accesses_per_core
                 )
-                values.append(metrics[self.spec.objective])
+            )
+            values.append(metrics[self.spec.objective])
         surrogate = Surrogate.fit(features, values)
         self.stats.surrogate_points = len(values)
         return surrogate
 
-    def _cached_metrics(
+    def _probe_keys(
         self, candidate: Candidate, fidelity: int
-    ) -> dict[str, float] | None:
-        """Reconstruct one evaluation's metrics purely from the cache."""
-        assert self.cache is not None
+    ) -> tuple[str, str, str, str]:
+        """The four speculative job keys one (candidate, fidelity) needs.
+
+        (reference functional, design functional, reference timing,
+        design timing) — reference designs reuse the reference
+        functional key, exactly as :func:`run_sweep` deduplicates them.
+        """
         point = candidate.sweep_point(self.spec, fidelity)
         design = candidate.design
-        reference = self.cache.peek(functional_job_key(point, BASELINE))
+        reference_key = functional_job_key(point, BASELINE)
+        return (
+            reference_key,
+            reference_key
+            if design.is_reference
+            else functional_job_key(point, design),
+            timing_job_key(point, BASELINE, self.config),
+            timing_job_key(point, design, self.config),
+        )
+
+    def _cached_metrics(
+        self,
+        candidate: Candidate,
+        group: tuple[str, str, str, str],
+        blob: dict[str, Any],
+    ) -> dict[str, float] | None:
+        """Reconstruct one evaluation's metrics from the bulk probe."""
+        design = candidate.design
+        reference = blob.get(group[0])
+        functional = blob.get(group[1])
+        base_sim = blob.get(group[2])
+        sim = blob.get(group[3])
         if reference is None:
             return None
-        functional = (
-            reference
-            if design.is_reference
-            else self.cache.peek(functional_job_key(point, design))
-        )
-        base_sim = self.cache.peek(timing_job_key(point, BASELINE, self.config))
-        sim = self.cache.peek(timing_job_key(point, design, self.config))
         if functional is None or base_sim is None or sim is None:
             return None
         factor = functional.iterations / max(reference.iterations, 1)
         if self._workload is None:
-            self._workload = point.make()
+            # Same workload instance for every candidate: the plan pins
+            # (workload, scale, seed), and the trace budget does not
+            # enter workload construction.
+            self._workload = candidate.sweep_point(
+                self.spec, self.spec.max_accesses_per_core
+            ).make()
         error = (
             0.0
             if design.is_reference
@@ -516,12 +552,14 @@ def run_plan(
     cache_dir: str | Path | None = None,
     engine: str | None = None,
     trace_store: str | Path | bool | None = None,
+    cache_backend: str | None = None,
 ) -> PlanResult:
     """Execute a plan spec (or spec file) end to end.
 
-    ``jobs`` / ``cache_dir`` / ``engine`` / ``trace_store`` override
-    the spec's execution settings without touching its identity,
-    mirroring :func:`~repro.experiment.run_experiment`.  Planning is
+    ``jobs`` / ``cache_dir`` / ``engine`` / ``trace_store`` /
+    ``cache_backend`` override the spec's execution settings without
+    touching its identity, mirroring
+    :func:`~repro.experiment.run_experiment`.  Planning is
     deterministic given (spec, seed): re-running the same plan yields
     an identical :class:`PlanResult`, and with a warm cache it
     executes zero sweep jobs.
@@ -535,5 +573,8 @@ def run_plan(
         jobs=jobs if jobs is not None else spec.jobs,
         cache_dir=cache_dir if cache_dir is not None else spec.cache_dir,
         trace_store=trace_store if trace_store is not None else spec.trace_store,
+        cache_backend=(
+            cache_backend if cache_backend is not None else spec.cache_backend
+        ),
     )
     return planner.run()

@@ -42,7 +42,7 @@ class TestRegistry:
     def test_catalogue_covers_the_shipped_rules(self):
         ids = {cls.id for cls in all_rules()}
         assert {"RNG001", "DTY001", "KEY001", "KEY002", "PKL001",
-                "PAR001", "DOC001", "PLN001"} <= ids
+                "PAR001", "DOC001", "PLN001", "CCH001"} <= ids
 
     def test_get_rule_by_id_and_name(self):
         assert get_rule("RNG001").id == "RNG001"
@@ -449,6 +449,67 @@ class TestPlannerSeedDiscipline:
 
     def test_planner_package_is_clean(self):
         result = run_check([str(SRC / "planner")], select=["PLN001"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# CCH001 — cache file discipline
+# ----------------------------------------------------------------------
+class TestCacheFileDiscipline:
+    def test_direct_pickle_load_flagged(self, tmp_path):
+        result = check_snippet(
+            tmp_path,
+            '\"\"\"Doc.\"\"\"\nimport pickle\n\n'
+            "def read(path):\n"
+            '    \"\"\"Doc.\"\"\"\n'
+            "    with open(path, 'rb') as fh:\n"
+            "        return pickle.load(fh)\n",
+            select=["CCH001"],
+            subdir="repro/harness",
+        )
+        assert rule_ids(result) == ["CCH001"]
+        assert "pickle.load" in result.findings[0].message
+
+    def test_pkl_path_literal_flagged(self, tmp_path):
+        result = check_snippet(
+            tmp_path,
+            '\"\"\"Doc.\"\"\"\n\n'
+            "def path_of(root, key):\n"
+            '    \"\"\"Doc.\"\"\"\n'
+            "    return root / key[:2] / f\"{key}\" / \"entry.pkl\"\n",
+            select=["CCH001"],
+            subdir="repro/planner",
+        )
+        assert rule_ids(result) == ["CCH001"]
+        assert "gc/verify" in result.findings[0].message
+
+    def test_cache_module_is_the_sanctioned_site(self, tmp_path):
+        result = check_snippet(
+            tmp_path,
+            '\"\"\"Doc.\"\"\"\nimport pickle\n\n'
+            "def load(data):\n"
+            '    \"\"\"Doc.\"\"\"\n'
+            "    return pickle.loads(data)\n",
+            name="cache.py",
+            select=["CCH001"],
+            subdir="repro/harness",
+        )
+        assert result.ok
+
+    def test_backend_consumers_pass(self, tmp_path):
+        result = check_snippet(
+            tmp_path,
+            '\"\"\"Doc.\"\"\"\nfrom repro.harness.cache import ResultCache\n\n'
+            "def warm(cache_dir, keys):\n"
+            '    \"\"\"Doc.\"\"\"\n'
+            "    return ResultCache(cache_dir).get_many(keys)\n",
+            select=["CCH001"],
+            subdir="repro/harness",
+        )
+        assert result.ok
+
+    def test_package_source_is_clean(self):
+        result = run_check([str(SRC)], select=["CCH001"])
         assert result.ok
 
 

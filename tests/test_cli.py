@@ -86,6 +86,93 @@ def test_rejects_nonpositive_cores_and_accesses():
             main(argv)
 
 
+@pytest.fixture()
+def warm_cache(tmp_path):
+    """A cache dir seeded by one micro workload run."""
+    code = main([
+        "workload", "heat", "--scale", "0.1", "--cores", "2",
+        "--accesses", "2000", "--designs", "AVR",
+        "--cache-dir", str(tmp_path),
+    ])
+    assert code == 0
+    return tmp_path
+
+
+def test_cache_backend_flag_is_bit_identical(warm_cache, capsys):
+    capsys.readouterr()
+    outputs = []
+    for backend in ("sharded", "memory:64", f"readthrough:{warm_cache}"):
+        code = main([
+            "workload", "heat", "--scale", "0.1", "--cores", "2",
+            "--accesses", "2000", "--designs", "AVR",
+            "--cache-dir", str(warm_cache), "--cache-backend", backend,
+        ])
+        assert code == 0
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == outputs[1] == outputs[2]
+
+
+def test_cache_stats_and_ls(warm_cache, capsys):
+    assert main(["cache", "stats", str(warm_cache)]) == 0
+    out = capsys.readouterr().out
+    assert "entries:" in out and "indexed" in out
+
+    assert main(["cache", "ls", str(warm_cache)]) == 0
+    keys = capsys.readouterr().out.split()
+    assert keys and all(len(k) == 64 for k in keys)
+
+    prefix = keys[0][:2]
+    assert main(["cache", "ls", str(warm_cache), "--prefix", prefix]) == 0
+    filtered = capsys.readouterr().out.split()
+    assert filtered == [k for k in keys if k.startswith(prefix)]
+
+
+def test_cache_verify_ok_and_corrupt(warm_cache, capsys):
+    assert main(["cache", "verify", str(warm_cache)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+    victim = next(warm_cache.glob("*/*.pkl"))
+    victim.write_bytes(b"torn write")
+    assert main(["cache", "verify", str(warm_cache)]) == 1
+    captured = capsys.readouterr()
+    assert "corrupt" in captured.out
+
+
+def test_cache_gc_dry_run_then_evict(warm_cache, capsys):
+    assert main([
+        "cache", "gc", str(warm_cache), "--max-bytes", "0", "--dry-run",
+    ]) == 0
+    assert "would remove" in capsys.readouterr().out
+    assert any(warm_cache.glob("*/*.pkl"))
+
+    assert main(["cache", "gc", str(warm_cache), "--max-bytes", "0"]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert not any(warm_cache.glob("*/*.pkl"))
+
+
+def test_cache_gc_sweeps_orphaned_tmp(warm_cache, capsys):
+    shard = next(d for d in warm_cache.iterdir() if d.is_dir())
+    orphan = shard / "leftover.tmp"
+    orphan.write_bytes(b"half a write")
+    assert main(["cache", "gc", str(warm_cache), "--tmp-age", "0"]) == 0
+    assert "1 tmp file(s)" in capsys.readouterr().out
+    assert not orphan.exists()
+
+
+def test_cache_rejects_missing_dir(tmp_path, capsys):
+    assert main(["cache", "stats", str(tmp_path / "nope")]) == 2
+    assert "not a cache directory" in capsys.readouterr().err
+
+
+def test_rejects_unknown_cache_backend(tmp_path):
+    with pytest.raises(ValueError, match="unknown cache backend"):
+        main([
+            "workload", "heat", "--scale", "0.1", "--cores", "2",
+            "--accesses", "2000", "--designs", "AVR",
+            "--cache-dir", str(tmp_path), "--cache-backend", "lru",
+        ])
+
+
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
