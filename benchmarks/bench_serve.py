@@ -1,0 +1,230 @@
+"""Benchmark: the evaluation service vs sequential one-shot runs.
+
+Simulates the service's target situation — several users evaluating
+overlapping design-space slices at the same time.  ``N`` clients each
+submit a two-workload experiment sharing one workload (a 50% overlap
+mix: everyone wants ``heat``, plus one private workload each), first
+as ``N`` sequential one-shot ``run_experiment`` calls with isolated
+caches (what those users do *without* the daemon), then concurrently
+against one live :class:`~repro.serve.daemon.EvalDaemon`.
+
+The daemon wins twice: the shared workload's units execute **once**
+for all clients (cross-client dedup — the scheduler's
+``units_launched``/``units_deduped`` rollup is recorded as evidence),
+and independent units from different clients run side by side on the
+shared worker pool.  The headline number is the aggregate speedup:
+summed sequential wall time divided by the concurrent window.
+
+``--check`` is the CI mode: smoke-scale specs, asserting the speedup
+clears ``--min-speedup`` (default 1.5x) and that the shared units
+really were launched exactly once.  ``--json`` records the breakdown;
+the repo's ``BENCH_serve.json`` is ``--json BENCH_serve.json``.
+
+Usage::
+
+    python benchmarks/bench_serve.py                 # default scale
+    python benchmarks/bench_serve.py --clients 4     # wider mix
+    python benchmarks/bench_serve.py --check         # CI assertion
+    python benchmarks/bench_serve.py --json out.json # record results
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro import __version__
+from repro.experiment import ExperimentSpec, run_experiment
+from repro.serve import EvalDaemon, ServeClient
+
+#: every client wants this workload — the dedup opportunity
+SHARED_WORKLOAD = "heat"
+#: one private workload per client, in assignment order
+UNIQUE_WORKLOADS = ("lattice", "kmeans", "bscholes", "orbit", "lbm", "wrf")
+
+
+def client_specs(clients: int, scale: float, accesses: int) -> list[ExperimentSpec]:
+    """One two-workload spec per client: the shared one + a private one."""
+    if clients > len(UNIQUE_WORKLOADS):
+        raise SystemExit(
+            f"at most {len(UNIQUE_WORKLOADS)} clients "
+            f"(one unique workload each)"
+        )
+    return [
+        ExperimentSpec(
+            name=f"serve-bench-{i}",
+            workloads=(SHARED_WORKLOAD, UNIQUE_WORKLOADS[i]),
+            designs=("baseline", "AVR"),
+            scales=(scale,),
+            max_accesses_per_core=accesses,
+            num_cores=2,
+        )
+        for i in range(clients)
+    ]
+
+
+def run_sequential(specs: list[ExperimentSpec], scratch: Path) -> float:
+    """The no-daemon baseline: one-shot runs, isolated caches; summed wall."""
+    total = 0.0
+    for i, spec in enumerate(specs):
+        start = time.perf_counter()
+        run_experiment(spec, jobs=1, cache_dir=scratch / f"solo-{i}")
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        print(f"  sequential {spec.name}: {elapsed:.1f}s", flush=True)
+    return total
+
+
+def run_served(
+    specs: list[ExperimentSpec], scratch: Path, workers: int
+) -> tuple[float, list[dict], dict]:
+    """All clients at once against one daemon; the concurrent window."""
+    daemon = EvalDaemon(
+        cache_dir=scratch / "served-cache", port=0, workers=workers
+    )
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    asyncio.run_coroutine_threadsafe(daemon.start(), loop).result(timeout=60)
+    outcomes: list[dict] = [{} for _ in specs]
+
+    def drive(index: int, spec: ExperimentSpec, barrier: threading.Barrier):
+        with ServeClient(port=daemon.port) as client:
+            barrier.wait(timeout=60)
+            outcomes[index] = client.wait(
+                client.submit(spec.to_mapping())
+            )["stats"]
+
+    try:
+        barrier = threading.Barrier(len(specs) + 1)
+        threads = [
+            threading.Thread(target=drive, args=(i, spec, barrier))
+            for i, spec in enumerate(specs)
+        ]
+        for worker in threads:
+            worker.start()
+        barrier.wait(timeout=60)
+        start = time.perf_counter()
+        for worker in threads:
+            worker.join()
+        window = time.perf_counter() - start
+        rollup = daemon.scheduler.stats.as_mapping()
+    finally:
+        asyncio.run_coroutine_threadsafe(daemon.shutdown(), loop).result(
+            timeout=60
+        )
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()
+    return window, outcomes, rollup
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=None,
+                        help="concurrent submissions (default 3; "
+                             "--check 4)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="daemon worker processes (default 2)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale (default 0.25; --check 0.12)")
+    parser.add_argument("--accesses", type=int, default=None,
+                        help="trace budget per core (default 10000; "
+                             "--check 2000)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the comparison as JSON")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="--check fails below this aggregate speedup")
+    parser.add_argument("--check", action="store_true",
+                        help="CI mode: smoke scale, speedup and "
+                             "exactly-once dedup enforced")
+    args = parser.parse_args(argv)
+
+    # check mode needs units big enough that the daemon's fixed costs
+    # (pool spawn, connections) do not swamp the dedup win, and enough
+    # clients that the shared workload amortizes visibly
+    clients = args.clients if args.clients is not None else (
+        4 if args.check else 3
+    )
+    scale = args.scale if args.scale is not None else (
+        0.3 if args.check else 0.25
+    )
+    accesses = args.accesses if args.accesses is not None else (
+        16_000 if args.check else 10_000
+    )
+    specs = client_specs(clients, scale, accesses)
+    mix = ", ".join(
+        "+".join(spec.workloads) for spec in specs
+    )
+    print(f"{clients} client(s), {args.workers} worker(s), "
+          f"scale {scale}, {accesses} accesses/core", flush=True)
+    print(f"mix: {mix}  (shared: {SHARED_WORKLOAD})", flush=True)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        scratch = Path(tmp)
+        print("sequential one-shot baseline:", flush=True)
+        sequential_s = run_sequential(specs, scratch)
+        print("concurrent against the daemon:", flush=True)
+        served_s, stats, rollup = run_served(specs, scratch, args.workers)
+
+    launched = rollup["units_launched"]
+    deduped = rollup["units_deduped"]
+    #: what N isolated users execute: every client's whole unit set,
+    #: shared or not (served clients cover theirs by launch + join + hit)
+    sequential_units = sum(
+        s.get("executed", 0) + s.get("units_deduped", 0)
+        + s.get("cache_hits", 0)
+        for s in stats
+    )
+    speedup = sequential_s / served_s if served_s > 0 else float("inf")
+    print(f"  window: {served_s:.1f}s for {launched} distinct unit(s), "
+          f"{deduped} join(s)", flush=True)
+    print()
+    print(f"sequential {sequential_s:.1f}s  served {served_s:.1f}s  "
+          f"speedup {speedup:.2f}x  "
+          f"({sequential_units} -> {launched} unit executions)")
+
+    if args.json:
+        payload = {
+            "version": __version__,
+            "clients": clients,
+            "workers": args.workers,
+            "shared_workload": SHARED_WORKLOAD,
+            "mix": [list(spec.workloads) for spec in specs],
+            "scale": scale,
+            "accesses_per_core": accesses,
+            "units_launched": launched,
+            "units_deduped": deduped,
+            "client_stats": stats,
+            "sequential_s": round(sequential_s, 2),
+            "served_s": round(served_s, 2),
+            "speedup": round(speedup, 2),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.check:
+        if launched >= sequential_units:
+            # shared units must execute once for everyone, so the
+            # daemon's launch count has to undercut N isolated runs
+            print(f"FAIL: no dedup win (launched {launched} of "
+                  f"{sequential_units} sequential unit executions)")
+            return 1
+        if speedup < args.min_speedup:
+            print(f"FAIL: speedup {speedup:.2f}x < required "
+                  f"{args.min_speedup}x")
+            return 1
+        print("serve check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

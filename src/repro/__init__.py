@@ -33,6 +33,10 @@ Public API highlights:
   repo invariants (RNG discipline, kernel dtypes, cache-key
   completeness, picklable hooks, engine parity, docstrings) as
   registrable AST rules, gating CI.
+* :mod:`repro.serve` — the long-running evaluation service:
+  ``repro serve`` hosts a shared result cache and worker pool behind
+  a socket; ``repro submit`` streams specs from many concurrent
+  clients, with overlapping job units executed exactly once.
 """
 
 from .common import Design, ErrorThresholds, SystemConfig
@@ -45,7 +49,10 @@ from .compression import AVRCompressor
 # successive halving over trace fidelity, Pareto-front selection,
 # ``repro plan``).  Simulation results are unchanged; the bump keys
 # planner cache entries apart from pre-planner runs.
-__version__ = "1.9.0"
+# 1.10.0: repro.serve — the evaluation daemon (session multiplexing,
+# cross-client unit dedup, shared cache).  Simulation results are
+# unchanged; the bump marks the service protocol's first version.
+__version__ = "1.10.0"
 
 #: sweep-engine names re-exported lazily so ``import repro`` stays
 #: lightweight (the harness pulls in every simulator module).

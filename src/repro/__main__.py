@@ -15,6 +15,10 @@ Commands:
 * ``cache``      — inspect and maintain an on-disk result cache
   (``stats`` / ``gc`` / ``verify`` / ``ls``)
 * ``check``      — run the repo-invariant static analysis pass
+* ``serve``      — run the resident evaluation daemon (shared pool,
+  shared cache, cross-client job-unit dedup)
+* ``submit``     — send a spec to a running daemon and stream events
+* ``status``     — report a running daemon's queue and sessions
 
 ``--designs`` / ``--design`` options accept any registered design name
 (see ``python -m repro designs``); unknown names fail with close-match
@@ -121,6 +125,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="memory-mapped composed-trace store; "
                              "default derives <cache-dir>/traces when "
                              "--cache-dir is set, 'off' disables it")
+
+
+def _emit_json(dest: str, mapping: "dict[str, object]") -> None:
+    """Write a ``--json`` payload to stdout (``-``) or a file path."""
+    import json
+    from pathlib import Path
+
+    payload = json.dumps(mapping, indent=2) + "\n"
+    if dest == "-":
+        print(payload, end="")
+    else:
+        Path(dest).write_text(payload)
+        print(f"wrote {dest}")
 
 
 def _print_evaluations(evals: "dict[str, WorkloadEvaluation]") -> None:
@@ -281,6 +298,10 @@ def cmd_scenario(args: argparse.Namespace) -> int:
             )
             print(f"  {inst.workload}#{inst.index} per-core slowdown: "
                   f"{percore}")
+    if args.json:
+        from .harness import scenario_evaluation_to_mapping
+
+        _emit_json(args.json, scenario_evaluation_to_mapping(ev))
     return 0
 
 
@@ -392,6 +413,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
           f"{stats.cache_stores} stored, "
           f"{stats.traces_mapped} trace(s) mapped, "
           f"{stats.traces_generated} generated")
+    if args.json:
+        from .harness import experiment_result_to_mapping
+
+        _emit_json(args.json, experiment_result_to_mapping(result))
     if args.expect_cached and stats.executed:
         print(f"error: expected a fully cache-served run but "
               f"{stats.executed} job(s) executed", file=sys.stderr)
@@ -402,7 +427,6 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_plan(args: argparse.Namespace) -> int:
     """Search the design space with the multi-fidelity planner."""
     import dataclasses
-    import json
 
     from .planner import PlanSpec, run_plan
 
@@ -470,14 +494,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
              f"point(s)" if stats.surrogate_points else ""))
 
     if args.json:
-        payload = json.dumps(result.to_mapping(), indent=2) + "\n"
-        if args.json == "-":
-            print(payload, end="")
-        else:
-            from pathlib import Path
-
-            Path(args.json).write_text(payload)
-            print(f"wrote {args.json}")
+        _emit_json(args.json, result.to_mapping())
     if args.expect_cached and stats.jobs_executed:
         print(f"error: expected a fully cache-served plan but "
               f"{stats.jobs_executed} job(s) executed", file=sys.stderr)
@@ -553,6 +570,157 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident evaluation daemon until SIGTERM/SIGINT."""
+    import asyncio
+
+    from .serve.daemon import EvalDaemon
+
+    try:
+        daemon = EvalDaemon(
+            cache_dir=args.cache_dir,
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_backend=args.cache_backend,
+            engine=args.engine,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def announce(line: str) -> None:
+        print(line, flush=True)
+
+    try:
+        asyncio.run(daemon.run_until_stopped(announce=announce))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a spec file to a running daemon and stream its events."""
+    from .experiment import ExperimentSpec, load_spec_mapping
+    from .planner import PlanSpec
+    from .serve.client import ServeClient, ServeError
+
+    try:
+        mapping = load_spec_mapping(args.spec)
+        kind = args.kind
+        if kind is None:
+            # sniff: an experiment spec first, a plan spec second
+            try:
+                ExperimentSpec.from_mapping(dict(mapping))
+                kind = "experiment"
+            except (ValueError, TypeError):
+                PlanSpec.from_mapping(dict(mapping))
+                kind = "plan"
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        with ServeClient(
+            socket_path=args.socket, host=args.host, port=args.port
+        ) as client:
+            job = client.submit(mapping, kind=kind, priority=args.priority)
+            print(f"submitted {job}: {kind} "
+                  f"{mapping.get('name', args.spec)!r} "
+                  f"(priority {args.priority})")
+            if args.detach:
+                return 0
+            stats: "dict[str, object] | None" = None
+            result: "dict[str, object] | None" = None
+            launched = joined = 0
+            for event in client.events(job):
+                name = event.get("event")
+                if name == "unit_done":
+                    if event.get("launched"):
+                        launched += 1
+                    else:
+                        joined += 1
+                    if not args.quiet:
+                        verb = "ran" if event.get("launched") else "joined"
+                        print(f"  unit {event.get('unit')} {verb}")
+                elif name == "stats":
+                    stats = event.get("stats")  # type: ignore[assignment]
+                elif name == "error":
+                    print(f"error: {event.get('error')}", file=sys.stderr)
+                    return 1
+                else:
+                    result = event.get("result")  # type: ignore[assignment]
+            executed = 0
+            if stats is not None:
+                executed = int(
+                    stats.get("executed", stats.get("jobs_executed", 0))  # type: ignore[union-attr]
+                )
+                print(f"sweep: {executed} job(s) executed "
+                      f"({launched} launched, {joined} joined in flight), "
+                      f"{stats.get('cache_hits', 0)} cache hit(s), "
+                      f"{stats.get('units_deduped', 0)} deduped")
+            if args.json and result is not None:
+                _emit_json(args.json, result)
+            if args.expect_cached and executed:
+                print(f"error: expected a fully cache-served run but "
+                      f"{executed} job(s) executed", file=sys.stderr)
+                return 1
+    except (ServeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Report a running daemon's sessions, queue and cache rollup."""
+    from .serve.client import ServeClient, ServeError
+
+    try:
+        with ServeClient(
+            socket_path=args.socket, host=args.host, port=args.port
+        ) as client:
+            snap = client.status()
+    except (ServeError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json == "-":
+        # machine mode: the snapshot alone, parseable from stdout
+        _emit_json(args.json, snap)
+        return 0
+    sched = snap.get("scheduler", {})
+    stats = sched.get("stats", {})
+    cache = snap.get("cache_stats", {})
+    print(f"repro serve @ {snap.get('address')} — "
+          f"version {snap.get('version')}, "
+          f"up {snap.get('uptime_s', 0.0):.1f}s")
+    print(f"scheduler: {sched.get('queue_depth', 0)} queued, "
+          f"{sched.get('running', 0)} running, "
+          f"{sched.get('workers', 0)} worker(s)")
+    print(f"  units: {stats.get('units_launched', 0)} launched, "
+          f"{stats.get('units_deduped', 0)} deduped, "
+          f"{stats.get('units_completed', 0)} completed, "
+          f"{stats.get('units_failed', 0)} failed, "
+          f"{stats.get('units_cancelled', 0)} cancelled")
+    print(f"cache: {snap.get('cache_entries', 0)} entr(ies); "
+          f"{cache.get('hits', 0)} hit(s), {cache.get('misses', 0)} "
+          f"miss(es), {cache.get('stores', 0)} store(s)")
+    sessions = snap.get("sessions", [])
+    print(f"sessions: {snap.get('active_sessions', 0)} active")
+    for session in sessions:
+        for job in session.get("jobs", []):
+            flag = " (cancelling)" if job.get("cancelled") else ""
+            print(f"  session {session.get('session')}: job {job.get('job')} "
+                  f"{job.get('kind')} {job.get('name')!r} "
+                  f"priority {job.get('priority')} — "
+                  f"{job.get('units_done')} unit(s) done "
+                  f"({job.get('units_launched')} launched){flag}")
+    if args.json:
+        _emit_json(args.json, snap)
+    return 0
+
+
 def cmd_overheads(_args: argparse.Namespace) -> int:
     """Print the AVR hardware-overhead model (paper \u00a74.2)."""
     o = hardware_overheads()
@@ -614,6 +782,9 @@ def main(argv: list[str] | None = None) -> int:
     p_ex.add_argument("--expect-cached", action="store_true",
                       help="exit 1 unless every job was served from the "
                            "cache (CI warm-cache assertion)")
+    p_ex.add_argument("--json", default=None, metavar="PATH|-",
+                      help="also emit the full result as JSON, to a "
+                           "file or stdout ('-')")
     p_ex.set_defaults(func=cmd_experiment)
 
     p_ds = sub.add_parser("designs", help="list the registered design points")
@@ -630,6 +801,9 @@ def main(argv: list[str] | None = None) -> int:
     p_sc.add_argument("--designs", nargs="+", metavar="DESIGN", default=None,
                       help="designs to compare, by registry name "
                            "(default: baseline + AVR)")
+    p_sc.add_argument("--json", default=None, metavar="PATH|-",
+                      help="also emit the evaluation as JSON, to a "
+                           "file or stdout ('-')")
     _add_common(p_sc)
     p_sc.set_defaults(func=cmd_scenario)
 
@@ -643,6 +817,90 @@ def main(argv: list[str] | None = None) -> int:
 
     p_ov = sub.add_parser("overheads", help="print §4.2 hardware overheads")
     p_ov.set_defaults(func=cmd_overheads)
+
+    def _add_connect(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--socket", default=None, metavar="PATH",
+                            help="Unix socket of the daemon")
+        parser.add_argument("--host", default=None,
+                            help="daemon host (default 127.0.0.1)")
+        parser.add_argument("--port", type=int, default=None,
+                            help="daemon TCP port")
+
+    p_sv = sub.add_parser(
+        "serve",
+        help="run the resident evaluation daemon",
+        description="Listen on a Unix socket (--socket) or TCP port "
+                    "(--port; 0 picks a free one) for ExperimentSpec/"
+                    "PlanSpec submissions from 'repro submit'.  All "
+                    "sessions share one process pool, one result "
+                    "cache, and one trace store; job units already in "
+                    "flight for another client are joined, not "
+                    "re-executed.  SIGTERM/SIGINT shut down cleanly.",
+    )
+    p_sv.add_argument("--socket", default=None, metavar="PATH",
+                      help="Unix socket to listen on")
+    p_sv.add_argument("--host", default=None,
+                      help="TCP bind host (default 127.0.0.1)")
+    p_sv.add_argument("--port", type=int, default=None,
+                      help="TCP port to listen on (0 = pick a free one)")
+    p_sv.add_argument("--workers", type=_positive_int, default=2,
+                      help="shared worker processes (default 2)")
+    p_sv.add_argument("--cache-dir", required=True, metavar="PATH",
+                      help="shared result-cache directory (the trace "
+                           "store derives under it)")
+    p_sv.add_argument("--cache-backend", default=None, metavar="SPEC",
+                      help="cache storage stack "
+                           "(sharded | memory[:N] | readthrough:PATH)")
+    p_sv.add_argument("--engine", choices=ENGINES, default=None,
+                      help="override every submission's timing-replay "
+                           "engine (results are bit-identical)")
+    p_sv.set_defaults(func=cmd_serve)
+
+    p_su = sub.add_parser(
+        "submit",
+        help="submit a spec to a running daemon",
+        description="Send an ExperimentSpec or PlanSpec file to a "
+                    "'repro serve' daemon and stream its progress "
+                    "events.  The daemon substitutes its shared cache "
+                    "and executor for the spec's execution settings; "
+                    "results are bit-identical to a one-shot "
+                    "'repro experiment' of the same spec.",
+    )
+    p_su.add_argument("spec", help="path to a .toml or .json spec file")
+    p_su.add_argument("--kind", choices=("experiment", "plan"), default=None,
+                      help="spec flavor (default: sniff from the fields)")
+    _add_connect(p_su)
+    p_su.add_argument("--priority", type=int, default=0,
+                      help="scheduling priority (higher runs first; "
+                           "default 0)")
+    p_su.add_argument("--wait", dest="detach", action="store_false",
+                      default=False,
+                      help="stream events until the result arrives "
+                           "(default)")
+    p_su.add_argument("--detach", dest="detach", action="store_true",
+                      help="return right after the daemon accepts "
+                           "the job")
+    p_su.add_argument("--quiet", action="store_true",
+                      help="suppress per-unit progress lines")
+    p_su.add_argument("--json", default=None, metavar="PATH|-",
+                      help="write the final result mapping as JSON, "
+                           "to a file or stdout ('-')")
+    p_su.add_argument("--expect-cached", action="store_true",
+                      help="exit 1 unless every job was served from "
+                           "the shared cache (CI warm assertion)")
+    p_su.set_defaults(func=cmd_submit)
+
+    p_st = sub.add_parser(
+        "status",
+        help="report a running daemon's queue and sessions",
+        description="Query a 'repro serve' daemon for queue depth, "
+                    "active sessions, per-session unit counts, and "
+                    "the shared scheduler/cache stats rollup.",
+    )
+    _add_connect(p_st)
+    p_st.add_argument("--json", default=None, metavar="PATH|-",
+                      help="also emit the raw snapshot as JSON")
+    p_st.set_defaults(func=cmd_status)
 
     p_ca = sub.add_parser(
         "cache",

@@ -16,9 +16,10 @@ from . import (
     picklable,
     planner,
     rng,
+    serve,
 )
 
 __all__ = [
     "cachefile", "cachekey", "docstrings", "dtype", "parity", "picklable",
-    "planner", "rng",
+    "planner", "rng", "serve",
 ]

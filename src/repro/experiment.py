@@ -346,10 +346,12 @@ class ExperimentResult:
 def run_experiment(
     spec: ExperimentSpec | str | Path,
     jobs: int | None = None,
-    cache_dir: str | Path | None = None,
+    cache_dir: str | Path | Any | None = None,
     engine: str | None = None,
     trace_store: str | Path | bool | None = None,
     cache_backend: str | None = None,
+    executor: Any | None = None,
+    on_unit_done: Any | None = None,
 ) -> ExperimentResult:
     """Execute an experiment spec (or spec file) end to end.
 
@@ -360,7 +362,12 @@ def run_experiment(
     bit-identical to the equivalent programmatic calls and cache
     entries are shared with them.  ``jobs`` / ``cache_dir`` /
     ``engine`` / ``trace_store`` / ``cache_backend`` override the
-    spec's execution settings without touching its identity.
+    spec's execution settings without touching its identity;
+    ``cache_dir`` may also be a prebuilt
+    :class:`~repro.harness.cache.ResultCache`.  ``executor`` /
+    ``on_unit_done`` forward to :func:`~repro.harness.sweep.run_sweep`
+    — the ``repro serve`` daemon injects its shared deduplicating
+    scheduler and streams per-unit progress through them.
     """
     from .harness.sweep import run_sweep
 
@@ -377,5 +384,7 @@ def run_experiment(
         cache_backend=(
             cache_backend if cache_backend is not None else spec.cache_backend
         ),
+        executor=executor,
+        on_unit_done=on_unit_done,
     )
     return ExperimentResult(spec=spec, sweep=sweep)

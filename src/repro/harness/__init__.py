@@ -45,7 +45,16 @@ from .experiments import (
     table3_output_error,
     table4_compression,
 )
-from .report import format_stacked, format_table, transpose
+from .report import (
+    evaluation_to_mapping,
+    experiment_result_to_mapping,
+    format_stacked,
+    format_table,
+    scenario_evaluation_to_mapping,
+    sim_result_to_mapping,
+    sweep_stats_to_mapping,
+    transpose,
+)
 from .runner import (
     ALL_DESIGNS,
     DesignRun,
@@ -115,9 +124,14 @@ __all__ = [
     "fig13_mpki",
     "fig14_llc_requests",
     "fig15_llc_evictions",
+    "evaluation_to_mapping",
+    "experiment_result_to_mapping",
     "format_stacked",
     "format_table",
     "hardware_overheads",
+    "scenario_evaluation_to_mapping",
+    "sim_result_to_mapping",
+    "sweep_stats_to_mapping",
     "table3_output_error",
     "table4_compression",
     "transpose",

@@ -154,7 +154,8 @@ def run_llc_ablations(
                 reference.memory.footprint_bytes,
                 1.0,
             )
-        timing.update(_execute_jobs(pool, cache, timing_jobs))
+        timing_results, _ = _execute_jobs(pool, cache, timing_jobs)
+        timing.update(timing_results)
 
     results: dict[str, AblationPoint] = {}
     for label, options in variants.items():

@@ -30,11 +30,13 @@ points entirely.
 
 from __future__ import annotations
 
+import abc
 import itertools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from functools import partial
 from pathlib import Path
+from types import TracebackType
 from typing import Any, Callable, Iterable, TYPE_CHECKING
 
 from .. import __version__
@@ -72,6 +74,8 @@ from .scenario import (
 )
 
 __all__ = [
+    "JobExecutor",
+    "UnitCallback",
     "SweepPoint",
     "SweepSpec",
     "SweepStats",
@@ -341,7 +345,46 @@ class _SerialFuture:
         return self._value
 
 
-class _SerialExecutor:
+class JobExecutor(abc.ABC):
+    """Execution seam every sweep runs through.
+
+    One method, keyed by the unit's content-hash cache key:
+    ``submit_unit`` returns a future-alike plus whether *this call*
+    launched the unit (``False`` means the executor joined an
+    execution already in flight — the evaluation-service scheduler
+    dedups overlapping submissions from concurrent clients this way;
+    the in-process executors below always launch).  Only the launching
+    submission stores the unit's result into the cache, so joined
+    units are never double-written.  ``shutdown`` releases whatever
+    the executor owns; ``cancel_futures=True`` is the
+    KeyboardInterrupt path — queued units are dropped instead of
+    drained.
+    """
+
+    @abc.abstractmethod
+    def submit_unit(
+        self, key: str, fn: Callable, /, *args: Any
+    ) -> tuple[Any, bool]:
+        """Run ``fn(*args)`` for unit ``key``; return (future, launched)."""
+
+    def shutdown(self, cancel_futures: bool = False) -> None:
+        """Release executor resources (no-op for stateless executors)."""
+
+    def __enter__(self) -> "JobExecutor":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        # Mirror run_sweep's cleanup: an exception drops queued units
+        # instead of draining them.
+        self.shutdown(cancel_futures=exc_type is not None)
+
+
+class _SerialExecutor(JobExecutor):
     """Drop-in executor that runs jobs eagerly in-process.
 
     This is the ``jobs=1`` path: same submission order, same job
@@ -349,14 +392,32 @@ class _SerialExecutor:
     is tested against.
     """
 
-    def submit(self, fn: Callable, /, *args: Any, **kwargs: Any) -> _SerialFuture:
-        return _SerialFuture(fn(*args, **kwargs))
+    def submit_unit(
+        self, key: str, fn: Callable, /, *args: Any
+    ) -> tuple[_SerialFuture, bool]:
+        return _SerialFuture(fn(*args)), True
 
-    def __enter__(self) -> "_SerialExecutor":
-        return self
 
-    def __exit__(self, *exc: Any) -> None:
-        pass
+class _PoolExecutor(JobExecutor):
+    """Process-pool execution of the sweep's picklable job units."""
+
+    def __init__(self, workers: int) -> None:
+        self._pool = ProcessPoolExecutor(max_workers=workers)
+
+    def submit_unit(
+        self, key: str, fn: Callable, /, *args: Any
+    ) -> tuple[Any, bool]:
+        return self._pool.submit(fn, *args), True
+
+    def shutdown(self, cancel_futures: bool = False) -> None:
+        """Shut the pool down; with ``cancel_futures`` drop queued work.
+
+        ``cancel_futures=True`` is what makes Ctrl-C on a fanned-out
+        sweep prompt instead of draining every queued job: running
+        units finish (workers exit cleanly, no orphaned processes) and
+        everything still queued is cancelled.
+        """
+        self._pool.shutdown(wait=True, cancel_futures=cancel_futures)
 
 
 @dataclass
@@ -376,6 +437,11 @@ class SweepStats:
     #: (and committed) this run — a warm store maps everything
     traces_mapped: int = 0
     traces_generated: int = 0
+    #: cache-missed units this run *joined* instead of launching — an
+    #: injected executor (the ``repro serve`` scheduler) found them
+    #: already in flight for another client; always 0 for the
+    #: in-process executors, which launch everything they are given
+    units_deduped: int = 0
 
     @property
     def executed(self) -> int:
@@ -432,36 +498,63 @@ class SweepResult:
         return {p.workload: ev for p, ev in self.evaluations.items()}
 
 
+#: per-unit completion hook: called in the parent as each unit's
+#: result is collected, with the unit's cache key and whether this run
+#: launched it (vs joining another client's in-flight execution or
+#: re-reading it).  The evaluation service streams progress events
+#: from it; raising from the hook aborts the sweep (the service's
+#: cancellation path).
+UnitCallback = Callable[[str, bool], None]
+
+
 def _execute_jobs(
-    pool: Any,
+    pool: JobExecutor,
     cache: ResultCache | None,
     jobs: dict[str, tuple],
     stats: SweepStats | None = None,
-) -> dict[str, Any]:
+    on_unit_done: UnitCallback | None = None,
+) -> tuple[dict[str, Any], int]:
     """Submit ``{key: (fn, *args)}``, collect results, store them.
 
+    Returns the results by key and how many units this call actually
+    *launched* — with a deduplicating executor, units joined from
+    another client's in-flight execution are collected but not counted
+    (and not re-stored: the launching run owns the cache write).
     Cache stores happen only in the parent process, so workers stay
     free of filesystem coordination.
     """
-    futures = {key: pool.submit(fn, *args) for key, (fn, *args) in jobs.items()}
-    results = {key: future.result() for key, future in futures.items()}
+    futures: dict[str, Any] = {}
+    launched: set[str] = set()
+    for key, (fn, *args) in jobs.items():
+        future, fresh = pool.submit_unit(key, fn, *args)
+        futures[key] = future
+        if fresh:
+            launched.add(key)
+    results: dict[str, Any] = {}
+    for key, future in futures.items():
+        results[key] = future.result()
+        if on_unit_done is not None:
+            on_unit_done(key, key in launched)
     if cache is not None:
-        cache.put_many(results)
-    return results
+        cache.put_many({key: results[key] for key in launched})
+    if stats is not None:
+        stats.units_deduped += len(jobs) - len(launched)
+    return results, len(launched)
 
 
 def _run_jobs(
-    pool: Any,
+    pool: JobExecutor,
     cache: ResultCache | None,
     jobs: dict[str, tuple],
     stats: SweepStats | None = None,
+    on_unit_done: UnitCallback | None = None,
 ) -> tuple[dict[str, Any], int]:
     """Execute ``{key: (fn, *args)}``, consulting the cache first.
 
     All pending keys are resolved in **one** batched cache pass (one
     index scan per touched shard) before any miss is submitted to the
     pool.  Returns the results by key and the number of jobs actually
-    executed (i.e. not served from the cache).
+    launched (i.e. neither served from the cache nor joined in flight).
     """
     results: dict[str, Any] = {}
     pending = dict(jobs)
@@ -473,16 +566,19 @@ def _run_jobs(
         if stats is not None:
             stats.cache_hits += len(cached)
             stats.cache_misses += len(pending)
-    results.update(_execute_jobs(pool, cache, pending, stats))
-    return results, len(pending)
+    executed_results, launched = _execute_jobs(
+        pool, cache, pending, stats, on_unit_done
+    )
+    results.update(executed_results)
+    return results, launched
 
 
-def _make_pool(jobs: int) -> Any:
+def _make_pool(jobs: int) -> JobExecutor:
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1:
         return _SerialExecutor()
-    return ProcessPoolExecutor(max_workers=jobs)
+    return _PoolExecutor(jobs)
 
 
 def run_sweep(
@@ -491,6 +587,8 @@ def run_sweep(
     cache_dir: str | Path | ResultCache | None = None,
     trace_store: TraceStore | str | Path | bool | None = None,
     cache_backend: str | None = None,
+    executor: JobExecutor | None = None,
+    on_unit_done: UnitCallback | None = None,
 ) -> SweepResult:
     """Evaluate every point of ``spec`` and reassemble the results.
 
@@ -516,6 +614,19 @@ def run_sweep(
     stored stream instead of regenerating it; ``False``/``"off"``
     disables it.  Stored or not, traces are bit-identical, so the
     result-cache keys are unaffected.
+
+    ``executor`` injects a caller-owned :class:`JobExecutor` in place
+    of the per-run pool (``jobs`` is then ignored and the executor is
+    *not* shut down here) — the ``repro serve`` daemon multiplexes
+    many concurrent sweeps onto one shared scheduler this way.
+    ``on_unit_done`` is invoked in the calling process as each
+    executed unit's result lands (see :data:`UnitCallback`); raising
+    from it aborts the sweep, which is the service's cancellation
+    path.  A run that owns its pool shuts it down with
+    ``cancel_futures=True`` on any error (including
+    ``KeyboardInterrupt``), so interrupted sweeps drop queued units
+    and leak neither worker processes nor half-written cache entries
+    (stores are atomic and happen only in the parent).
     """
     config = spec.resolved_config()
     cache = resolve_result_cache(cache_dir, cache_backend)
@@ -532,7 +643,8 @@ def run_sweep(
     needed_functional = functional_designs(spec.designs)
     stats = SweepStats()
 
-    with _make_pool(jobs) as pool:
+    pool = executor if executor is not None else _make_pool(jobs)
+    try:
         # --- stage 1: functional jobs, deduplicated by content key ----
         # Workload points and scenario instances enumerate into one job
         # dict: a mix containing a workload that is also swept solo
@@ -550,7 +662,9 @@ def run_sweep(
                     functional_jobs.setdefault(
                         key, (run_functional_job, ipoint, design)
                     )
-        functional, executed = _run_jobs(pool, cache, functional_jobs, stats)
+        functional, executed = _run_jobs(
+            pool, cache, functional_jobs, stats, on_unit_done
+        )
         stats.functional_executed += executed
 
         def functional_for(
@@ -652,8 +766,20 @@ def run_sweep(
                 footprint,
                 dedup,
             )
-        timing.update(_execute_jobs(pool, cache, timing_jobs, stats))
-        stats.timing_executed += len(timing_jobs)
+        timing_results, launched = _execute_jobs(
+            pool, cache, timing_jobs, stats, on_unit_done
+        )
+        timing.update(timing_results)
+        stats.timing_executed += launched
+    except BaseException:
+        # An interrupted (Ctrl-C) or cancelled sweep must not leak its
+        # pool: queued units are dropped, running workers drain and
+        # exit.  Injected executors are caller-owned and survive.
+        if executor is None:
+            pool.shutdown(cancel_futures=True)
+        raise
+    if executor is None:
+        pool.shutdown()
     if store is not None:
         stats.traces_mapped = store.stats.hits - store_hits0
         stats.traces_generated = store.stats.stores - store_stores0

@@ -232,10 +232,14 @@ class _Planner:
         cache_dir: str | Path | None,
         trace_store: str | Path | bool | None,
         cache_backend: str | None = None,
+        executor: Any | None = None,
+        on_unit_done: Any | None = None,
     ) -> None:
         self.spec = spec
         self.jobs = jobs
         self.trace_store = trace_store
+        self.executor = executor
+        self.on_unit_done = on_unit_done
         # One cache instance threads through every internal sweep, so a
         # memory tier (or read-through stack) spans the whole plan —
         # rungs re-reading shared functional results hit RAM.
@@ -286,6 +290,8 @@ class _Planner:
                 jobs=self.jobs,
                 cache_dir=self.cache,
                 trace_store=self.trace_store,
+                executor=self.executor,
+                on_unit_done=self.on_unit_done,
             )
             self._absorb(sweep.stats, full)
             evaluation = sweep.by_workload()[self.spec.workload]
@@ -553,16 +559,21 @@ def run_plan(
     engine: str | None = None,
     trace_store: str | Path | bool | None = None,
     cache_backend: str | None = None,
+    executor: Any | None = None,
+    on_unit_done: Any | None = None,
 ) -> PlanResult:
     """Execute a plan spec (or spec file) end to end.
 
     ``jobs`` / ``cache_dir`` / ``engine`` / ``trace_store`` /
     ``cache_backend`` override the spec's execution settings without
     touching its identity, mirroring
-    :func:`~repro.experiment.run_experiment`.  Planning is
-    deterministic given (spec, seed): re-running the same plan yields
-    an identical :class:`PlanResult`, and with a warm cache it
-    executes zero sweep jobs.
+    :func:`~repro.experiment.run_experiment`; ``executor`` /
+    ``on_unit_done`` thread a caller-owned
+    :class:`~repro.harness.sweep.JobExecutor` and per-unit progress
+    hook through every internal sweep (the ``repro serve`` daemon's
+    seam).  Planning is deterministic given (spec, seed): re-running
+    the same plan yields an identical :class:`PlanResult`, and with a
+    warm cache it executes zero sweep jobs.
     """
     if isinstance(spec, (str, Path)):
         spec = PlanSpec.from_file(spec)
@@ -576,5 +587,7 @@ def run_plan(
         cache_backend=(
             cache_backend if cache_backend is not None else spec.cache_backend
         ),
+        executor=executor,
+        on_unit_done=on_unit_done,
     )
     return planner.run()

@@ -1,0 +1,124 @@
+"""Length-prefixed JSON framing for the evaluation service.
+
+One frame is a 4-byte big-endian unsigned payload length followed by
+exactly that many bytes of UTF-8 JSON encoding a single object.  The
+same codec serves both directions: client requests (``submit`` /
+``cancel`` / ``status`` ops) and daemon events (``accepted`` /
+``unit_done`` / ``stats`` / ``result`` / ``error`` / ``status``).
+
+:class:`FrameDecoder` is an incremental, transport-agnostic decoder —
+feed it whatever chunks arrive and it yields every completed frame
+while buffering torn ones, so TCP segmentation never corrupts a
+message.  The async helpers (:func:`read_frame` / :func:`write_frame`)
+adapt the codec to ``asyncio`` stream pairs for the daemon side; the
+synchronous client drives :class:`FrameDecoder` directly over a plain
+socket.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+__all__ = [
+    "FrameDecoder",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: upper bound on one frame's payload; a result mapping for a large
+#: grid is a few MB, so this is generous while still rejecting a
+#: desynchronized (or hostile) length prefix before allocating
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed, oversized, or truncated frame."""
+
+
+def encode_frame(message: Any) -> bytes:
+    """Serialize one message into a length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder over an arbitrary chunk stream."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending(self) -> int:
+        """Bytes buffered that do not yet form a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[Any]:
+        """Absorb ``data`` and return every frame it completed."""
+        self._buffer.extend(data)
+        messages: list[Any] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return messages
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame header announces {length} bytes, over the "
+                    f"{MAX_FRAME_BYTES}-byte limit"
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return messages
+            payload = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            try:
+                messages.append(json.loads(payload.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+async def read_frame(reader: Any) -> Any:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF.
+
+    EOF in the middle of a frame (header or payload) raises
+    :class:`ProtocolError` — the peer vanished mid-message.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed inside a frame header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame header announces {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed inside a frame payload") from exc
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+async def write_frame(writer: Any, message: Any) -> None:
+    """Write one frame to an asyncio stream and drain the transport."""
+    writer.write(encode_frame(message))
+    await writer.drain()

@@ -42,7 +42,7 @@ class TestRegistry:
     def test_catalogue_covers_the_shipped_rules(self):
         ids = {cls.id for cls in all_rules()}
         assert {"RNG001", "DTY001", "KEY001", "KEY002", "PKL001",
-                "PAR001", "DOC001", "PLN001", "CCH001"} <= ids
+                "PAR001", "DOC001", "PLN001", "CCH001", "SRV001"} <= ids
 
     def test_get_rule_by_id_and_name(self):
         assert get_rule("RNG001").id == "RNG001"
@@ -449,6 +449,130 @@ class TestPlannerSeedDiscipline:
 
     def test_planner_package_is_clean(self):
         result = run_check([str(SRC / "planner")], select=["PLN001"])
+        assert result.ok
+
+
+# ----------------------------------------------------------------------
+# SRV001 — serve async discipline
+# ----------------------------------------------------------------------
+class TestServeAsyncDiscipline:
+    def test_blocking_sleep_in_coroutine_flagged(self, tmp_path):
+        result = check_snippet(
+            tmp_path,
+            '"""Doc."""\nimport time\n\n'
+            "async def poll():\n"
+            '    """Doc."""\n'
+            "    time.sleep(0.1)\n",
+            select=["SRV001"],
+            subdir="repro/serve",
+        )
+        assert rule_ids(result) == ["SRV001"]
+        assert "asyncio.sleep" in result.findings[0].message
+
+    def test_wall_clock_in_coroutine_flagged(self, tmp_path):
+        result = check_snippet(
+            tmp_path,
+            '"""Doc."""\nimport time\n\n'
+            "async def uptime():\n"
+            '    """Doc."""\n'
+            "    return time.time()\n",
+            select=["SRV001"],
+            subdir="repro/serve",
+        )
+        assert rule_ids(result) == ["SRV001"]
+        assert "loop.time" in result.findings[0].message
+
+    def test_sync_socket_in_coroutine_flagged(self, tmp_path):
+        result = check_snippet(
+            tmp_path,
+            '"""Doc."""\nimport socket\n\n'
+            "async def dial(addr):\n"
+            '    """Doc."""\n'
+            "    return socket.create_connection(addr)\n",
+            select=["SRV001"],
+            subdir="repro/serve",
+        )
+        assert rule_ids(result) == ["SRV001"]
+        assert "asyncio streams" in result.findings[0].message
+
+    def test_loop_clock_and_async_sleep_pass(self, tmp_path):
+        result = check_snippet(
+            tmp_path,
+            '"""Doc."""\nimport asyncio\n\n'
+            "async def tick():\n"
+            '    """Doc."""\n'
+            "    loop = asyncio.get_running_loop()\n"
+            "    await asyncio.sleep(0.1)\n"
+            "    return loop.time()\n",
+            select=["SRV001"],
+            subdir="repro/serve",
+        )
+        assert result.ok
+
+    def test_sync_client_code_is_outside_jurisdiction(self, tmp_path):
+        # the blocking ServeClient half lives in plain functions —
+        # blocking sockets are its whole job
+        result = check_snippet(
+            tmp_path,
+            '"""Doc."""\nimport socket\n\n'
+            "def dial(addr):\n"
+            '    """Doc."""\n'
+            "    return socket.create_connection(addr)\n",
+            select=["SRV001"],
+            subdir="repro/serve",
+        )
+        assert result.ok
+
+    def test_module_level_rng_state_flagged(self, tmp_path):
+        result = check_snippet(
+            tmp_path,
+            '"""Doc."""\nimport numpy as np\n'
+            "RNG = np.random.default_rng(seed=None)\n",
+            select=["SRV001"],
+            subdir="repro/serve",
+        )
+        assert rule_ids(result) == ["SRV001"]
+        assert "module-level" in result.findings[0].message
+
+    def test_literal_seed_flagged(self, tmp_path):
+        result = check_snippet(
+            tmp_path,
+            '"""Doc."""\nimport numpy as np\n\n'
+            "def jitter():\n"
+            '    """Doc."""\n'
+            "    return np.random.default_rng(0)\n",
+            select=["SRV001"],
+            subdir="repro/serve",
+        )
+        assert rule_ids(result) == ["SRV001"]
+        assert "spec" in result.findings[0].message
+
+    def test_threaded_seed_passes(self, tmp_path):
+        result = check_snippet(
+            tmp_path,
+            '"""Doc."""\nimport numpy as np\n\n'
+            "def jitter(spec):\n"
+            '    """Doc."""\n'
+            "    return np.random.default_rng(spec.seed)\n",
+            select=["SRV001"],
+            subdir="repro/serve",
+        )
+        assert result.ok
+
+    def test_rule_scoped_to_serve_modules(self, tmp_path):
+        result = check_snippet(
+            tmp_path,
+            '"""Doc."""\nimport time\n\n'
+            "async def poll():\n"
+            '    """Doc."""\n'
+            "    time.sleep(0.1)\n",
+            select=["SRV001"],
+            subdir="repro/harness",
+        )
+        assert result.ok
+
+    def test_serve_package_is_clean(self):
+        result = run_check([str(SRC / "serve")], select=["SRV001"])
         assert result.ok
 
 

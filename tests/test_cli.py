@@ -151,7 +151,10 @@ def test_cache_gc_dry_run_then_evict(warm_cache, capsys):
 
 
 def test_cache_gc_sweeps_orphaned_tmp(warm_cache, capsys):
-    shard = next(d for d in warm_cache.iterdir() if d.is_dir())
+    # A shard dir specifically — the cache root also holds traces/.
+    shard = next(
+        d for d in warm_cache.iterdir() if d.is_dir() and len(d.name) == 2
+    )
     orphan = shard / "leftover.tmp"
     orphan.write_bytes(b"half a write")
     assert main(["cache", "gc", str(warm_cache), "--tmp-age", "0"]) == 0
